@@ -1,0 +1,43 @@
+// Hardware overhead study: regenerate the paper's Figure 10 with the
+// analytical gate-equivalent model and explore how the NoCAlert-vs-DMR
+// gap responds to the design parameters the paper holds fixed (flit
+// width, buffer depth) — the point being that DMR tracks the control
+// logic's super-linear growth while the checkers stay linear.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocalert"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("Figure 10 — area overhead vs VCs per port:")
+	fmt.Printf("%4s  %12s  %10s  %8s\n", "VCs", "router GE", "NoCAlert%", "DMR-CL%")
+	for _, o := range nocalert.Fig10Sweep(nil) {
+		fmt.Printf("%4d  %12.0f  %9.2f%%  %7.2f%%\n",
+			o.Params.VCs, o.RouterGE, o.NoCAlertPct, o.DMRPct)
+	}
+
+	fmt.Println("\nSensitivity: narrower links shrink the datapath, so both")
+	fmt.Println("overheads rise — but their ratio stays put:")
+	fmt.Printf("%8s  %10s  %8s  %6s\n", "width", "NoCAlert%", "DMR-CL%", "ratio")
+	for _, w := range []int{32, 64, 128, 256} {
+		p := nocalert.HWParams{Ports: 5, VCs: 4, BufDepth: 5, FlitWidth: w}
+		o := nocalert.AreaOverhead(p)
+		fmt.Printf("%7db  %9.2f%%  %7.2f%%  %6.1f\n",
+			w, o.NoCAlertPct, o.DMRPct, o.DMRPct/o.NoCAlertPct)
+	}
+
+	fmt.Println("\nPower and critical path at the paper's design point:")
+	for _, v := range []int{2, 4, 6, 8} {
+		p := nocalert.HWDefault(v)
+		_, _, pw := nocalert.PowerOverhead(p)
+		base, with, cp := nocalert.CriticalPathOverhead(p)
+		fmt.Printf("  %d VCs: power +%.2f%%, critical path %.1f -> %.1f gate levels (+%.2f%%)\n",
+			v, pw, base, with, cp)
+	}
+}

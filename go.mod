@@ -1,0 +1,3 @@
+module nocalert
+
+go 1.24

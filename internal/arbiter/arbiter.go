@@ -1,0 +1,137 @@
+// Package arbiter implements the arbiters used by the router's VA and SA
+// stages. The paper's separable allocators are built from per-port
+// round-robin arbiters (local stage) and per-resource round-robin
+// arbiters (global stage); a matrix arbiter is provided as an
+// alternative. Arbiters are the modules invariances 4–6 guard directly:
+// a grant without a request, no grant despite requests, and non-one-hot
+// grant vectors are all impossible outputs of a healthy arbiter.
+package arbiter
+
+import (
+	"fmt"
+
+	"nocalert/internal/bitvec"
+)
+
+// Arbiter grants one of up to Width() concurrent requests per invocation.
+// Implementations carry priority state across invocations to provide
+// fairness; state is part of the architectural state and must be
+// cloneable for campaign restarts.
+type Arbiter interface {
+	// Width returns the number of request lines.
+	Width() int
+	// Arbitrate returns the grant vector for the given request vector.
+	// A healthy arbiter returns a one-hot subset of req when req is
+	// non-zero and zero when req is zero; it also updates its internal
+	// priority state.
+	Arbitrate(req bitvec.Vec) bitvec.Vec
+	// Clone returns an independent copy with identical priority state.
+	Clone() Arbiter
+}
+
+// RoundRobin is a classic rotating-priority arbiter: the client after
+// the most recent winner has highest priority next time.
+type RoundRobin struct {
+	width int
+	next  int // index with highest priority
+}
+
+// NewRoundRobin returns a round-robin arbiter over width clients.
+// It panics for widths outside [1, 32].
+func NewRoundRobin(width int) *RoundRobin {
+	if width < 1 || width > 32 {
+		panic(fmt.Sprintf("arbiter: invalid width %d", width))
+	}
+	return &RoundRobin{width: width}
+}
+
+// Width implements Arbiter.
+func (a *RoundRobin) Width() int { return a.width }
+
+// Arbitrate implements Arbiter.
+func (a *RoundRobin) Arbitrate(req bitvec.Vec) bitvec.Vec {
+	req &= bitvec.Mask(a.width)
+	if req.IsZero() {
+		return 0
+	}
+	for i := 0; i < a.width; i++ {
+		idx := (a.next + i) % a.width
+		if req.Get(idx) {
+			a.next = (idx + 1) % a.width
+			return bitvec.New(idx)
+		}
+	}
+	return 0 // unreachable: req is non-zero within width
+}
+
+// Clone implements Arbiter.
+func (a *RoundRobin) Clone() Arbiter {
+	c := *a
+	return &c
+}
+
+// Matrix is a matrix arbiter: an anti-symmetric priority matrix where
+// w[i][j] means client i beats client j; the winner's row is cleared and
+// column set, giving least-recently-served priority.
+type Matrix struct {
+	width int
+	// beats[i] has bit j set when client i currently has priority over
+	// client j.
+	beats []bitvec.Vec
+}
+
+// NewMatrix returns a matrix arbiter over width clients with initial
+// priority order 0 > 1 > ... > width-1.
+func NewMatrix(width int) *Matrix {
+	if width < 1 || width > 32 {
+		panic(fmt.Sprintf("arbiter: invalid width %d", width))
+	}
+	m := &Matrix{width: width, beats: make([]bitvec.Vec, width)}
+	for i := 0; i < width; i++ {
+		for j := i + 1; j < width; j++ {
+			m.beats[i] = m.beats[i].Set(j)
+		}
+	}
+	return m
+}
+
+// Width implements Arbiter.
+func (m *Matrix) Width() int { return m.width }
+
+// Arbitrate implements Arbiter.
+func (m *Matrix) Arbitrate(req bitvec.Vec) bitvec.Vec {
+	req &= bitvec.Mask(m.width)
+	if req.IsZero() {
+		return 0
+	}
+	for i := 0; i < m.width; i++ {
+		if !req.Get(i) {
+			continue
+		}
+		// i wins if it beats every other requester.
+		if (req &^ m.beats[i]).Clear(i).IsZero() {
+			m.winnerUpdate(i)
+			return bitvec.New(i)
+		}
+	}
+	// The priority matrix is a strict total order over requesters, so a
+	// winner always exists; reaching here indicates state corruption.
+	panic("arbiter: matrix arbiter found no winner for non-empty request")
+}
+
+func (m *Matrix) winnerUpdate(w int) {
+	// Winner drops below everyone: clear its row, set its column.
+	m.beats[w] = 0
+	for i := 0; i < m.width; i++ {
+		if i != w {
+			m.beats[i] = m.beats[i].Set(w)
+		}
+	}
+}
+
+// Clone implements Arbiter.
+func (m *Matrix) Clone() Arbiter {
+	c := &Matrix{width: m.width, beats: make([]bitvec.Vec, m.width)}
+	copy(c.beats, m.beats)
+	return c
+}

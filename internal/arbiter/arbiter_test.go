@@ -1,0 +1,156 @@
+package arbiter
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nocalert/internal/bitvec"
+)
+
+func arbiters(width int) map[string]Arbiter {
+	return map[string]Arbiter{
+		"roundrobin": NewRoundRobin(width),
+		"matrix":     NewMatrix(width),
+	}
+}
+
+// TestArbiterContract is the property the NoCAlert arbiter checkers
+// (invariances 4–6) assert: for any request vector, a healthy arbiter
+// grants exactly one requester when requests exist and nothing
+// otherwise.
+func TestArbiterContract(t *testing.T) {
+	for name, a := range arbiters(8) {
+		a := a
+		f := func(raw uint16) bool {
+			req := bitvec.Vec(raw) & bitvec.Mask(8)
+			gnt := a.Arbitrate(req)
+			if req.IsZero() {
+				return gnt.IsZero()
+			}
+			return gnt.OneHot() && (gnt &^ req).IsZero()
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestRoundRobinFairness: under full contention every client is served
+// equally.
+func TestRoundRobinFairness(t *testing.T) {
+	const w = 4
+	a := NewRoundRobin(w)
+	counts := make([]int, w)
+	full := bitvec.Mask(w)
+	for i := 0; i < 4000; i++ {
+		g := a.Arbitrate(full)
+		counts[g.First()]++
+	}
+	for i, c := range counts {
+		if c != 1000 {
+			t.Errorf("client %d served %d times, want 1000", i, c)
+		}
+	}
+}
+
+// TestMatrixLeastRecentlyServed: after a client wins, it loses ties
+// against all others until they have been served.
+func TestMatrixFairness(t *testing.T) {
+	const w = 4
+	a := NewMatrix(w)
+	counts := make([]int, w)
+	full := bitvec.Mask(w)
+	for i := 0; i < 4000; i++ {
+		g := a.Arbitrate(full)
+		counts[g.First()]++
+	}
+	for i, c := range counts {
+		if c != 1000 {
+			t.Errorf("client %d served %d times, want 1000", i, c)
+		}
+	}
+}
+
+// TestNoStarvation: a persistent requester is eventually served even
+// with a competing always-on requester.
+func TestNoStarvation(t *testing.T) {
+	for name, a := range arbiters(4) {
+		served := false
+		req := bitvec.New(1, 3)
+		for i := 0; i < 8; i++ {
+			if a.Arbitrate(req).Get(3) {
+				served = true
+				break
+			}
+		}
+		if !served {
+			t.Errorf("%s: client 3 starved", name)
+		}
+	}
+}
+
+func TestSingleRequester(t *testing.T) {
+	for name, a := range arbiters(6) {
+		for i := 0; i < 6; i++ {
+			g := a.Arbitrate(bitvec.New(i))
+			if !g.Get(i) || g.Count() != 1 {
+				t.Errorf("%s: sole requester %d got grant %s", name, i, g)
+			}
+		}
+	}
+}
+
+func TestOutOfWidthRequestsIgnored(t *testing.T) {
+	for name, a := range arbiters(3) {
+		g := a.Arbitrate(bitvec.New(5, 9))
+		if !g.IsZero() {
+			t.Errorf("%s: granted out-of-width request: %s", name, g)
+		}
+	}
+}
+
+// TestCloneIndependence: a clone replays the same grant sequence and
+// diverging the original does not affect the clone.
+func TestCloneIndependence(t *testing.T) {
+	for name, a := range arbiters(5) {
+		full := bitvec.Mask(5)
+		for i := 0; i < 3; i++ {
+			a.Arbitrate(full)
+		}
+		c := a.Clone()
+		var got, want []int
+		for i := 0; i < 10; i++ {
+			want = append(want, a.Arbitrate(full).First())
+		}
+		for i := 0; i < 10; i++ {
+			got = append(got, c.Arbitrate(full).First())
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s: clone diverged at %d: %v vs %v", name, i, got, want)
+				break
+			}
+		}
+	}
+}
+
+func TestWidthValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewRoundRobin(0) },
+		func() { NewRoundRobin(33) },
+		func() { NewMatrix(0) },
+		func() { NewMatrix(33) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+	if NewRoundRobin(1).Width() != 1 || NewMatrix(32).Width() != 32 {
+		t.Error("Width() wrong")
+	}
+}

@@ -1,0 +1,118 @@
+// Package bitvec provides the small fixed-width bit vectors used for
+// request/grant signals, crossbar control and read/write strobes. NoC
+// control vectors are narrow (≤ ports or ≤ VCs wide), so a uint32-backed
+// value type keeps them allocation-free, trivially cloneable, and easy
+// for the fault plane to flip bits in.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vec is a little-endian bit vector: bit i corresponds to client i of an
+// arbiter, VC i of a port, or port i of a crossbar row/column.
+type Vec uint32
+
+// New returns a vector with the given bits set.
+func New(bitsSet ...int) Vec {
+	var v Vec
+	for _, b := range bitsSet {
+		v = v.Set(b)
+	}
+	return v
+}
+
+// Set returns v with bit i set. It panics if i is outside [0, 32).
+func (v Vec) Set(i int) Vec {
+	checkIndex(i)
+	return v | 1<<uint(i)
+}
+
+// Clear returns v with bit i cleared.
+func (v Vec) Clear(i int) Vec {
+	checkIndex(i)
+	return v &^ (1 << uint(i))
+}
+
+// Flip returns v with bit i inverted; this is the fault plane's primitive.
+func (v Vec) Flip(i int) Vec {
+	checkIndex(i)
+	return v ^ 1<<uint(i)
+}
+
+// Get reports whether bit i is set.
+func (v Vec) Get(i int) bool {
+	checkIndex(i)
+	return v&(1<<uint(i)) != 0
+}
+
+// Count returns the number of set bits.
+func (v Vec) Count() int { return bits.OnesCount32(uint32(v)) }
+
+// IsZero reports whether no bit is set.
+func (v Vec) IsZero() bool { return v == 0 }
+
+// AtMostOneHot reports whether zero or one bit is set — the shape every
+// grant vector and crossbar control vector must have (invariances 6, 14,
+// and 15).
+func (v Vec) AtMostOneHot() bool { return v&(v-1) == 0 }
+
+// OneHot reports whether exactly one bit is set.
+func (v Vec) OneHot() bool { return v != 0 && v.AtMostOneHot() }
+
+// First returns the index of the lowest set bit, or -1 if none is set.
+func (v Vec) First() int {
+	if v == 0 {
+		return -1
+	}
+	return bits.TrailingZeros32(uint32(v))
+}
+
+// Bits returns the indices of all set bits in ascending order.
+func (v Vec) Bits() []int {
+	out := make([]int, 0, v.Count())
+	for w := uint32(v); w != 0; w &= w - 1 {
+		out = append(out, bits.TrailingZeros32(w))
+	}
+	return out
+}
+
+// Mask returns a vector with the low width bits set.
+func Mask(width int) Vec {
+	if width < 0 || width > 32 {
+		panic(fmt.Sprintf("bitvec: invalid width %d", width))
+	}
+	if width == 32 {
+		return Vec(^uint32(0))
+	}
+	return Vec(1<<uint(width) - 1)
+}
+
+// InWidth reports whether v has no bits set at or above width.
+func (v Vec) InWidth(width int) bool { return v&^Mask(width) == 0 }
+
+// String renders the vector as bits, most significant first, over the
+// minimum width that shows all set bits (at least 1 digit).
+func (v Vec) String() string {
+	if v == 0 {
+		return "0"
+	}
+	hi := 31 - bits.LeadingZeros32(uint32(v))
+	var sb strings.Builder
+	for i := hi; i >= 0; i-- {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+func checkIndex(i int) {
+	if i < 0 || i >= 32 {
+		panic(fmt.Sprintf("bitvec: bit index %d out of range", i))
+	}
+}

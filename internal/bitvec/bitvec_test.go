@@ -1,0 +1,162 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClearFlip(t *testing.T) {
+	var v Vec
+	v = v.Set(3)
+	if !v.Get(3) || v.Get(2) {
+		t.Fatalf("Set/Get broken: %s", v)
+	}
+	v = v.Flip(3)
+	if v.Get(3) {
+		t.Fatal("Flip did not clear")
+	}
+	v = v.Flip(0).Set(5)
+	if !v.Get(0) || !v.Get(5) {
+		t.Fatal("Flip/Set broken")
+	}
+	v = v.Clear(0)
+	if v.Get(0) {
+		t.Fatal("Clear broken")
+	}
+}
+
+func TestNew(t *testing.T) {
+	v := New(0, 2, 4)
+	if v != 0b10101 {
+		t.Fatalf("New(0,2,4) = %s", v)
+	}
+	if New() != 0 {
+		t.Fatal("New() should be zero")
+	}
+}
+
+func TestCountAndBits(t *testing.T) {
+	v := New(1, 3, 7, 30)
+	if v.Count() != 4 {
+		t.Fatalf("Count = %d", v.Count())
+	}
+	bits := v.Bits()
+	want := []int{1, 3, 7, 30}
+	if len(bits) != len(want) {
+		t.Fatalf("Bits = %v", bits)
+	}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("Bits = %v, want %v", bits, want)
+		}
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	cases := []struct {
+		v           Vec
+		atMost, one bool
+	}{
+		{0, true, false},
+		{New(0), true, true},
+		{New(7), true, true},
+		{New(0, 1), false, false},
+		{New(2, 9, 17), false, false},
+	}
+	for _, c := range cases {
+		if got := c.v.AtMostOneHot(); got != c.atMost {
+			t.Errorf("%s.AtMostOneHot() = %v", c.v, got)
+		}
+		if got := c.v.OneHot(); got != c.one {
+			t.Errorf("%s.OneHot() = %v", c.v, got)
+		}
+	}
+}
+
+func TestFirst(t *testing.T) {
+	if Vec(0).First() != -1 {
+		t.Fatal("First of zero vector should be -1")
+	}
+	if New(5, 9).First() != 5 {
+		t.Fatal("First should return lowest set bit")
+	}
+}
+
+func TestMaskAndInWidth(t *testing.T) {
+	if Mask(0) != 0 || Mask(3) != 0b111 || Mask(32) != Vec(^uint32(0)) {
+		t.Fatal("Mask broken")
+	}
+	if !New(2).InWidth(3) || New(3).InWidth(3) {
+		t.Fatal("InWidth broken")
+	}
+}
+
+func TestString(t *testing.T) {
+	if Vec(0).String() != "0" {
+		t.Fatalf("zero renders %q", Vec(0).String())
+	}
+	if New(0, 2).String() != "101" {
+		t.Fatalf("101 renders %q", New(0, 2).String())
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Vec(0).Set(-1) },
+		func() { Vec(0).Get(32) },
+		func() { Mask(33) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: Count equals the length of Bits, and every index in Bits is
+// set.
+func TestCountBitsAgree(t *testing.T) {
+	f := func(raw uint32) bool {
+		v := Vec(raw)
+		bits := v.Bits()
+		if len(bits) != v.Count() {
+			return false
+		}
+		for _, b := range bits {
+			if !v.Get(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AtMostOneHot agrees with Count <= 1.
+func TestOneHotAgreesWithCount(t *testing.T) {
+	f := func(raw uint32) bool {
+		v := Vec(raw)
+		return v.AtMostOneHot() == (v.Count() <= 1) && v.OneHot() == (v.Count() == 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Flip is an involution.
+func TestFlipInvolution(t *testing.T) {
+	f := func(raw uint32, bit uint8) bool {
+		v := Vec(raw)
+		b := int(bit % 32)
+		return v.Flip(b).Flip(b) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

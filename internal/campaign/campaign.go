@@ -1,0 +1,355 @@
+// Package campaign orchestrates the paper's fault-injection methodology
+// (§5.2–5.4): one fault-free golden run plus one forked, fault-injected
+// run per fault, each classified against the Golden Reference into
+// true/false positives/negatives for NoCAlert, NoCAlert-Cautious and
+// ForEVeR. The aggregated report regenerates Figures 6–9 and
+// Observations 1–5.
+//
+// Forking works by warming a single network to the injection cycle and
+// deep-cloning it per fault, so a cycle-32K campaign pays the warmup
+// once. Runs execute on a small worker pool.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"nocalert/internal/core"
+	"nocalert/internal/fault"
+	"nocalert/internal/forever"
+	"nocalert/internal/golden"
+	"nocalert/internal/rng"
+	"nocalert/internal/sim"
+)
+
+// Outcome classifies one mechanism's behaviour on one injected fault,
+// following the paper's four categories (§5.4).
+type Outcome int
+
+const (
+	// TrueNegative: nothing detected, fault benign.
+	TrueNegative Outcome = iota
+	// TruePositive: detected, fault caused a network-correctness
+	// violation.
+	TruePositive
+	// FalsePositive: detected, fault benign.
+	FalsePositive
+	// FalseNegative: not detected, fault caused a violation — the
+	// outcome NoCAlert's design goal drives to zero.
+	FalseNegative
+)
+
+// String returns the outcome's abbreviation.
+func (o Outcome) String() string {
+	switch o {
+	case TrueNegative:
+		return "TN"
+	case TruePositive:
+		return "TP"
+	case FalsePositive:
+		return "FP"
+	case FalseNegative:
+		return "FN"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+func classify(detected, malicious bool) Outcome {
+	switch {
+	case detected && malicious:
+		return TruePositive
+	case detected && !malicious:
+		return FalsePositive
+	case !detected && malicious:
+		return FalseNegative
+	default:
+		return TrueNegative
+	}
+}
+
+// Options configures a campaign.
+type Options struct {
+	// Sim is the network and workload under test.
+	Sim sim.Config
+	// InjectCycle is the network state at which faults strike (the
+	// paper uses 0, 32K and 64K).
+	InjectCycle int64
+	// PostInjectRun is how many cycles injection continues after the
+	// fault, giving the perturbation live traffic to interact with.
+	PostInjectRun int64
+	// DrainDeadline bounds the drain phase; a network that cannot
+	// empty by then violates bounded delivery.
+	DrainDeadline int64
+	// Forever tunes the ForEVeR baseline.
+	Forever forever.Options
+	// Faults is the list of faults to inject, one run each.
+	Faults []fault.Fault
+	// FaultGroups, when non-empty, replaces Faults: each group injects
+	// together in one run — the multi-fault extension the paper leaves
+	// as future work. All faults of a group must inject at InjectCycle.
+	FaultGroups [][]fault.Fault
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// CheckersDisabled optionally ablates NoCAlert checkers.
+	CheckersDisabled []core.CheckerID
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	out := *o
+	if out.PostInjectRun <= 0 {
+		out.PostInjectRun = 500
+	}
+	if out.DrainDeadline <= 0 {
+		out.DrainDeadline = 10000
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(out.FaultGroups) == 0 {
+		if len(out.Faults) == 0 {
+			return out, errors.New("campaign: no faults to inject")
+		}
+		out.FaultGroups = make([][]fault.Fault, len(out.Faults))
+		for i, f := range out.Faults {
+			out.FaultGroups[i] = []fault.Fault{f}
+		}
+	}
+	for _, g := range out.FaultGroups {
+		if len(g) == 0 {
+			return out, errors.New("campaign: empty fault group")
+		}
+		for _, f := range g {
+			if f.Cycle != o.InjectCycle {
+				return out, fmt.Errorf("campaign: fault %v does not inject at cycle %d", &f, o.InjectCycle)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RunResult is the outcome of one fault-injected run.
+type RunResult struct {
+	// Fault is the injected fault (the first of the group in
+	// multi-fault runs; see Group).
+	Fault fault.Fault
+	// Group holds every fault of a multi-fault run.
+	Group []fault.Fault
+	// Fired reports whether the fault actually corrupted a live signal
+	// (a fault on an idle module may never touch anything).
+	Fired bool
+	// Verdict is the golden-reference judgment.
+	Verdict golden.Verdict
+	// Drained reports whether the faulty network emptied in time.
+	Drained bool
+
+	// NoCAlert results.
+	Detected    bool
+	DetectCycle int64 // absolute cycle of first assertion
+	Latency     int64 // DetectCycle - injection cycle
+	Outcome     Outcome
+
+	// NoCAlert-Cautious results (low-risk checkers 1 and 3 deferred).
+	CautiousDetected bool
+	CautiousLatency  int64
+	CautiousOutcome  Outcome
+
+	// ForEVeR results.
+	ForeverDetected bool
+	ForeverLatency  int64
+	ForeverOutcome  Outcome
+
+	// Checker attribution.
+	CheckersFired      []core.CheckerID
+	FirstCycleCheckers []core.CheckerID
+	SimultaneityHist   []int64
+}
+
+// Report is the aggregated campaign output.
+type Report struct {
+	Opts Options
+	// GoldenEjections is the number of flits the golden run delivered
+	// after the injection cycle.
+	GoldenEjections int
+	// GoldenForeverFalsePositive reports whether ForEVeR flagged the
+	// fault-free golden continuation (an epoch-tuning artifact).
+	GoldenForeverFalsePositive bool
+	// Results holds one entry per injected fault, in input order.
+	Results []RunResult
+}
+
+// Run executes the campaign.
+func Run(opts Options) (*Report, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	// Golden run: warm to the injection cycle, fork the base state,
+	// then continue fault-free to produce the reference log.
+	warm, err := sim.New(o.Sim, nil)
+	if err != nil {
+		return nil, err
+	}
+	warm.AttachMonitor(forever.NewMonitor(warm.RouterConfig(), o.Forever))
+	for warm.Cycle() < o.InjectCycle {
+		warm.Step()
+	}
+	base := warm.Clone(nil)
+
+	goldenNet := warm // continues fault-free
+	goldenNet.Run(o.PostInjectRun)
+	goldenDrained := goldenNet.Drain(o.DrainDeadline)
+	if !goldenDrained {
+		return nil, fmt.Errorf("campaign: fault-free golden run failed to drain by cycle %d (inflight=%d)",
+			goldenNet.Cycle(), goldenNet.InFlight())
+	}
+	runHorizonExtra := foreverHorizon(goldenNet.Cycle(), o.Forever)
+	for goldenNet.Cycle() < runHorizonExtra {
+		goldenNet.Step()
+	}
+	goldenLog := golden.FromEjections(goldenNet.Ejections(), o.InjectCycle)
+	gfv := findForever(goldenNet)
+	goldenFvFP := gfv != nil && gfv.FirstDetectionAfter(o.InjectCycle) >= 0
+
+	report := &Report{
+		Opts:                       o,
+		GoldenEjections:            goldenLog.Total(),
+		GoldenForeverFalsePositive: goldenFvFP,
+		Results:                    make([]RunResult, len(o.FaultGroups)),
+	}
+
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				report.Results[i] = runOne(base, goldenLog, o, o.FaultGroups[i])
+			}
+		}()
+	}
+	for i := range o.FaultGroups {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return report, nil
+}
+
+// foreverHorizon returns the cycle up to which a run must continue so
+// that ForEVeR's epoch mechanism has a chance to flag anomalies that
+// materialized before the drain completed: the next epoch boundary
+// plus one full epoch.
+func foreverHorizon(cycle int64, o forever.Options) int64 {
+	epoch := o.Epoch
+	if epoch <= 0 {
+		epoch = forever.DefaultOptions().Epoch
+	}
+	next := (cycle/epoch + 1) * epoch
+	return next + epoch
+}
+
+func findForever(n *sim.Network) *forever.Monitor {
+	for _, m := range n.Monitors() {
+		if fv, ok := m.(*forever.Monitor); ok {
+			return fv
+		}
+	}
+	return nil
+}
+
+func runOne(base *sim.Network, goldenLog *golden.Log, o Options, group []fault.Fault) RunResult {
+	plane := fault.NewPlane(group...)
+	n := base.Clone(plane)
+	eng := core.NewEngine(n.RouterConfig(), core.Options{Disabled: o.CheckersDisabled})
+	n.AttachMonitor(eng)
+	fv := findForever(n)
+	if fv != nil {
+		fv.ClearDetections()
+	}
+
+	n.Run(o.PostInjectRun)
+	drained := n.Drain(o.DrainDeadline)
+	horizon := foreverHorizon(n.Cycle(), o.Forever)
+	for n.Cycle() < horizon {
+		n.Step()
+	}
+
+	faultyLog := golden.FromEjections(n.Ejections(), o.InjectCycle)
+	verdict := golden.Compare(goldenLog, faultyLog, drained)
+	malicious := !verdict.OK()
+
+	fired := false
+	for i := range group {
+		if plane.FiredAt(i) >= 0 {
+			fired = true
+			break
+		}
+	}
+	res := RunResult{
+		Fault:   group[0],
+		Group:   group,
+		Fired:   fired,
+		Verdict: verdict,
+		Drained: drained,
+
+		Detected:    eng.Detected(),
+		DetectCycle: eng.FirstDetection(),
+
+		CheckersFired:      eng.FiredCheckers(),
+		FirstCycleCheckers: eng.FirstCycleCheckers(),
+		SimultaneityHist:   eng.SimultaneityHistogram(),
+	}
+	res.Outcome = classify(res.Detected, malicious)
+	if res.Detected {
+		res.Latency = res.DetectCycle - o.InjectCycle
+	} else {
+		res.Latency = -1
+	}
+
+	res.CautiousDetected = eng.FirstHighRiskDetection() >= 0
+	res.CautiousOutcome = classify(res.CautiousDetected, malicious)
+	if res.CautiousDetected {
+		res.CautiousLatency = eng.FirstHighRiskDetection() - o.InjectCycle
+	} else {
+		res.CautiousLatency = -1
+	}
+
+	if fv != nil {
+		fd := fv.FirstDetectionAfter(o.InjectCycle)
+		res.ForeverDetected = fd >= 0
+		if res.ForeverDetected {
+			res.ForeverLatency = fd - o.InjectCycle
+		} else {
+			res.ForeverLatency = -1
+		}
+	} else {
+		res.ForeverLatency = -1
+	}
+	res.ForeverOutcome = classify(res.ForeverDetected, malicious)
+	return res
+}
+
+// SampleFaults draws n distinct single-bit transient faults injecting
+// at cycle, uniformly over every fault location of the mesh (or all of
+// them when n is 0 or exceeds the population). The draw is
+// deterministic in seed.
+func SampleFaults(p fault.Params, n int, seed uint64, cycle int64) []fault.Fault {
+	var all []fault.Fault
+	for _, s := range p.EnumerateSites() {
+		all = append(all, fault.BitFaults(s, cycle, fault.Transient)...)
+	}
+	if n <= 0 || n >= len(all) {
+		return all
+	}
+	g := rng.New(seed, 0xfa17)
+	perm := g.Perm(len(all))
+	out := make([]fault.Fault, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[perm[i]]
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package campaign
+
+import (
+	"encoding/json"
+	"io"
+
+	"nocalert/internal/core"
+)
+
+// jsonReport is the machine-readable export of a campaign, shaped for
+// downstream plotting (one object per figure).
+type jsonReport struct {
+	InjectCycle int64            `json:"inject_cycle"`
+	Faults      int              `json:"faults"`
+	Fired       int              `json:"fired"`
+	Malicious   int              `json:"malicious"`
+	Fig6        []jsonCoverage   `json:"fig6_coverage"`
+	Fig7        []jsonLatencyCDF `json:"fig7_latency_cdf"`
+	Fig8        []jsonShare      `json:"fig8_checker_shares"`
+	Fig9        []int64          `json:"fig9_simultaneity_hist"`
+	Obs5        Observation5     `json:"obs5"`
+	Recovery    []jsonExposure   `json:"recovery_exposure"`
+}
+
+type jsonCoverage struct {
+	Mechanism string  `json:"mechanism"`
+	TP        float64 `json:"tp_pct"`
+	FP        float64 `json:"fp_pct"`
+	TN        float64 `json:"tn_pct"`
+	FN        float64 `json:"fn_pct"`
+}
+
+type jsonLatencyCDF struct {
+	Mechanism string      `json:"mechanism"`
+	N         int         `json:"n"`
+	Series    []jsonPoint `json:"series"`
+}
+
+type jsonPoint struct {
+	Delay int64   `json:"delay_cycles"`
+	CumPc float64 `json:"cumulative_pct"`
+}
+
+type jsonShare struct {
+	Checker   int     `json:"checker"`
+	Name      string  `json:"name"`
+	SharePct  float64 `json:"share_pct"`
+	FiredRuns int     `json:"fired_runs"`
+	AloneRuns int     `json:"alone_runs"`
+}
+
+type jsonExposure struct {
+	Mechanism       string  `json:"mechanism"`
+	MeanLatency     float64 `json:"mean_latency_cycles"`
+	MeanFlitsAtRisk float64 `json:"mean_flits_at_risk"`
+	MaxFlitsAtRisk  float64 `json:"max_flits_at_risk"`
+}
+
+var cdfMilestones = []int64{0, 1, 2, 4, 9, 16, 28, 64, 128, 256, 512, 1024, 1500, 3000, 6000, 12000}
+
+// WriteJSON exports the aggregated campaign results as JSON for
+// external plotting tools.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := jsonReport{
+		InjectCycle: r.Opts.InjectCycle,
+		Faults:      len(r.Results),
+		Fired:       r.FiredCount(),
+		Malicious:   r.MaliciousCount(),
+		Fig9:        r.SimultaneityDistribution(),
+		Obs5:        r.Observation5(),
+	}
+	for _, m := range []Mechanism{NoCAlert, Cautious, ForEVeR} {
+		c := r.Coverage(m)
+		out.Fig6 = append(out.Fig6, jsonCoverage{
+			Mechanism: m.String(), TP: c.TPPct, FP: c.FPPct, TN: c.TNPct, FN: c.FNPct,
+		})
+	}
+	for _, m := range []Mechanism{NoCAlert, ForEVeR} {
+		cdf := r.LatencyCDF(m)
+		series := jsonLatencyCDF{Mechanism: m.String(), N: cdf.N()}
+		for _, d := range cdfMilestones {
+			series.Series = append(series.Series, jsonPoint{Delay: d, CumPc: 100 * cdf.AtOrBelow(d)})
+		}
+		out.Fig7 = append(out.Fig7, series)
+		e := r.RecoveryExposure(m)
+		out.Recovery = append(out.Recovery, jsonExposure{
+			Mechanism:       m.String(),
+			MeanLatency:     e.MeanLatency,
+			MeanFlitsAtRisk: e.MeanFlitsAtRisk,
+			MaxFlitsAtRisk:  e.MaxFlitsAtRisk,
+		})
+	}
+	for _, s := range r.CheckerShares() {
+		if s.FiredRuns == 0 {
+			continue
+		}
+		out.Fig8 = append(out.Fig8, jsonShare{
+			Checker:   int(s.Checker),
+			Name:      core.CheckerID(s.Checker).String(),
+			SharePct:  s.SharePct,
+			FiredRuns: s.FiredRuns,
+			AloneRuns: s.AloneRuns,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,153 @@
+package core_test
+
+import (
+	"testing"
+
+	"nocalert/internal/core"
+	"nocalert/internal/fault"
+	"nocalert/internal/router"
+	"nocalert/internal/sim"
+	"nocalert/internal/topology"
+)
+
+// runFault runs a 3×3 network with one injected fault and returns the
+// engine after the window.
+func runFault(f fault.Fault) *core.Engine {
+	rc := router.Default(topology.NewMesh(3, 3))
+	cfg := sim.Config{Router: rc, InjectionRate: 0.25, Seed: 41}
+	n := sim.MustNew(cfg, fault.NewPlane(f))
+	eng := core.NewEngine(n.RouterConfig(), core.Options{})
+	n.AttachMonitor(eng)
+	n.Run(900)
+	return eng
+}
+
+// kindFaults samples permanent faults of one signal class across sites
+// and bits. Permanent faults maximize excitation, which is what a
+// coverage test wants.
+func kindFaults(kind fault.Kind, maxSites int) []fault.Fault {
+	params := fault.Params{Mesh: topology.NewMesh(3, 3), VCs: 4, BufDepth: 5}
+	var out []fault.Fault
+	sites := 0
+	for _, s := range params.EnumerateSites() {
+		if s.Kind != kind {
+			continue
+		}
+		sites++
+		if sites > maxSites {
+			break
+		}
+		for b := 0; b < s.Width; b++ {
+			out = append(out, fault.Fault{Site: s, Bit: b, Cycle: 250, Type: fault.Permanent})
+		}
+	}
+	return out
+}
+
+// TestCheckerCoverageByFaultKind verifies, per signal class, that
+// corrupting it excites the checkers that guard it — and that across
+// the whole fault model every applicable checker fires at least once
+// (the paper's Figure 8 observation that no checker is dead weight).
+func TestCheckerCoverageByFaultKind(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coverage sweep in -short mode")
+	}
+	// Per-kind: at least one of the listed checkers must fire.
+	anyOf := map[fault.Kind][]core.CheckerID{
+		fault.RCInDestX:      {core.IllegalTurn, core.NonMinimalRoute, core.EndToEndMisdelivery},
+		fault.RCInDestY:      {core.IllegalTurn, core.NonMinimalRoute, core.EndToEndMisdelivery},
+		fault.RCOutDir:       {core.InvalidRCOutput, core.NonMinimalRoute},
+		fault.VA1Req:         {core.ConsistentVCState, core.VAAgreesWithRC, core.VAOnNonHeader, core.VAOnEmptyVC, core.GrantWithoutRequest},
+		fault.VA1Gnt:         {core.GrantWithoutRequest, core.GrantToNobody, core.GrantNotOneHot},
+		fault.VA2Req:         {core.GrantWithoutRequest, core.IntraVAStageOrder, core.VAAgreesWithRC, core.GrantToNobody},
+		fault.VA2Gnt:         {core.GrantWithoutRequest, core.GrantToNobody, core.GrantNotOneHot, core.IntraVAStageOrder},
+		fault.VA2OutVC:       {core.InvalidOutputVC, core.GrantToOccupiedOrFull},
+		fault.SA1Req:         {core.ConsistentVCState, core.SAAgreesWithRC, core.ReadFromEmptyBuffer, core.GrantWithoutRequest},
+		fault.SA1Gnt:         {core.GrantWithoutRequest, core.GrantToNobody, core.GrantNotOneHot},
+		fault.SA2Req:         {core.GrantWithoutRequest, core.GrantToNobody, core.IntraSAStageOrder, core.SAAgreesWithRC},
+		fault.SA2Gnt:         {core.GrantWithoutRequest, core.GrantToNobody, core.IntraSAStageOrder, core.OneToOnePortAssignment},
+		fault.XbarSel:        {core.XbarColumnOneHot, core.XbarRowOneHot, core.XbarFlitConservation},
+		fault.BufRead:        {core.ReadFromEmptyBuffer, core.ConcurrentVCReads, core.XbarFlitConservation},
+		fault.BufWrite:       {core.ConcurrentVCWrites, core.HeaderOnlyInFreeVC, core.WriteToFullBuffer, core.PacketFlitCount},
+		fault.FlitKindIn:     {core.BufferAtomicity, core.HeaderOnlyInFreeVC, core.PacketFlitCount, core.RCOnNonHeader},
+		fault.FlitVCIn:       {core.HeaderOnlyInFreeVC, core.BufferAtomicity, core.PacketFlitCount},
+		fault.VCStateReg:     {core.ConsistentVCState, core.RCOnEmptyVC, core.VAOnEmptyVC, core.RCOnNonHeader, core.ConcurrentRCComplete},
+		fault.VCRouteReg:     {core.SAAgreesWithRC, core.VAAgreesWithRC, core.IllegalTurn, core.NonMinimalRoute, core.InvalidRCOutput, core.EndToEndMisdelivery},
+		fault.VCOutVCReg:     {core.InvalidOutputVC, core.GrantToOccupiedOrFull, core.BufferAtomicity},
+		fault.CreditSig:      {core.WriteToFullBuffer, core.GrantToOccupiedOrFull, core.BufferAtomicity, core.PacketFlitCount},
+		fault.CreditCountReg: {core.WriteToFullBuffer, core.GrantToOccupiedOrFull, core.GrantToNobody},
+	}
+
+	union := map[core.CheckerID]bool{}
+	for kind, expect := range anyOf {
+		fired := map[core.CheckerID]bool{}
+		for _, f := range kindFaults(kind, 6) {
+			eng := runFault(f)
+			for _, id := range eng.FiredCheckers() {
+				fired[id] = true
+				union[id] = true
+			}
+		}
+		ok := false
+		for _, id := range expect {
+			if fired[id] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			list := make([]core.CheckerID, 0, len(fired))
+			for id := range fired {
+				list = append(list, id)
+			}
+			t.Errorf("kind %v: none of the expected checkers fired (got %v, want any of %v)",
+				kind, list, expect)
+		}
+	}
+
+	// Every checker applicable to the default (atomic-buffer, minimal-
+	// routing) configuration must be excitable by some fault.
+	for id := core.CheckerID(1); id <= core.NumCheckers; id++ {
+		if id == core.NonAtomicPacketMixing {
+			continue // only applicable to non-atomic buffers
+		}
+		if !union[id] {
+			t.Errorf("checker %v never fired across the whole fault model", id)
+		}
+	}
+}
+
+// TestChecker27NonAtomic verifies the non-atomic counterpart: with
+// non-atomic buffers, invariance 26 retires and 27 takes over; a kind
+// corruption that forges a header mid-packet trips it.
+func TestChecker27NonAtomic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coverage sweep in -short mode")
+	}
+	rc := router.Default(topology.NewMesh(3, 3))
+	rc.AtomicVC = false
+	params := fault.Params{Mesh: rc.Mesh, VCs: rc.VCs, BufDepth: rc.BufDepth}
+	fired := map[core.CheckerID]bool{}
+	for _, s := range params.EnumerateSites() {
+		if s.Kind != fault.FlitKindIn {
+			continue
+		}
+		for b := 0; b < s.Width; b++ {
+			f := fault.Fault{Site: s, Bit: b, Cycle: 250, Type: fault.Permanent}
+			cfg := sim.Config{Router: rc, InjectionRate: 0.25, Seed: 41}
+			n := sim.MustNew(cfg, fault.NewPlane(f))
+			eng := core.NewEngine(n.RouterConfig(), core.Options{})
+			if eng.Enabled(core.BufferAtomicity) {
+				t.Fatal("checker 26 enabled with non-atomic buffers")
+			}
+			n.AttachMonitor(eng)
+			n.Run(900)
+			for _, id := range eng.FiredCheckers() {
+				fired[id] = true
+			}
+		}
+	}
+	if !fired[core.NonAtomicPacketMixing] {
+		t.Error("checker 27 never fired with non-atomic buffers under kind corruption")
+	}
+}

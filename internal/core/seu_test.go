@@ -1,0 +1,42 @@
+package core_test
+
+import (
+	"testing"
+
+	"nocalert/internal/core"
+	"nocalert/internal/fault"
+	"nocalert/internal/router"
+	"nocalert/internal/sim"
+	"nocalert/internal/topology"
+)
+
+// TestRegisterSEUStranding: transient SEUs in the VC status registers
+// must not strand packets silently.
+func TestRegisterSEUStranding(t *testing.T) {
+	rc := router.Default(topology.NewMesh(4, 4))
+	params := fault.Params{Mesh: rc.Mesh, VCs: rc.VCs, BufDepth: rc.BufDepth}
+	silentMal := 0
+	runs := 0
+	for _, s := range params.EnumerateSites() {
+		if !s.Kind.IsRegister() {
+			continue
+		}
+		for b := 0; b < s.Width; b++ {
+			f := fault.Fault{Site: s, Bit: b, Cycle: 400, Type: fault.Transient}
+			n := sim.MustNew(sim.Config{Router: rc, InjectionRate: 0.2, Seed: 17}, fault.NewPlane(f))
+			eng := core.NewEngine(n.RouterConfig(), core.Options{})
+			n.AttachMonitor(eng)
+			n.Run(600)
+			drained := n.Drain(4000)
+			runs++
+			if !drained && !eng.Detected() {
+				silentMal++
+				t.Errorf("silent stranding: %s", f.String())
+			}
+		}
+		if runs > 400 {
+			break
+		}
+	}
+	t.Logf("%d register-SEU runs, %d silent stranding", runs, silentMal)
+}

@@ -1,0 +1,118 @@
+// Package diagnose turns NoCAlert detections into fault localization.
+//
+// The paper positions NoCAlert as the detection front-end for a
+// recovery/reconfiguration back-end; any such back-end first needs to
+// know *where* to recover. Because the checkers are physically
+// distributed — each one taps a specific module of a specific router —
+// the pattern of assertions carries location information: the first
+// assertions cluster at (or immediately downstream of) the faulted
+// module, while later ones spread as the corruption propagates.
+//
+// Localize exploits exactly that: violations are scored per router with
+// a weight that decays with the delay from the first assertion, so the
+// earliest, most local evidence dominates.
+package diagnose
+
+import (
+	"sort"
+
+	"nocalert/internal/core"
+	"nocalert/internal/topology"
+)
+
+// Suspect is one candidate fault location.
+type Suspect struct {
+	// Router is the suspected node.
+	Router int
+	// Score is the accumulated evidence (higher is more suspicious).
+	Score float64
+	// Checkers lists the distinct checkers that contributed, in id
+	// order.
+	Checkers []core.CheckerID
+	// FirstCycle is the earliest contributing assertion.
+	FirstCycle int64
+}
+
+// Localize ranks routers by assertion evidence. It requires the engine
+// to have been run with Options.KeepViolations. The result is sorted by
+// descending score (ties broken by earliest assertion, then router id);
+// an empty slice means nothing was detected.
+func Localize(violations []core.Violation) []Suspect {
+	if len(violations) == 0 {
+		return nil
+	}
+	first := violations[0].Cycle
+	for _, v := range violations {
+		if v.Cycle < first {
+			first = v.Cycle
+		}
+	}
+	type acc struct {
+		score    float64
+		checkers map[core.CheckerID]bool
+		firstCyc int64
+	}
+	byRouter := map[int]*acc{}
+	for _, v := range violations {
+		a := byRouter[v.Router]
+		if a == nil {
+			a = &acc{checkers: map[core.CheckerID]bool{}, firstCyc: v.Cycle}
+			byRouter[v.Router] = a
+		}
+		// Evidence decays with distance (in cycles) from the first
+		// assertion: corruption needs cycles to propagate to other
+		// routers, so late assertions localize poorly.
+		delay := v.Cycle - first
+		a.score += 1.0 / float64(1+delay)
+		a.checkers[v.Checker] = true
+		if v.Cycle < a.firstCyc {
+			a.firstCyc = v.Cycle
+		}
+	}
+	out := make([]Suspect, 0, len(byRouter))
+	for r, a := range byRouter {
+		s := Suspect{Router: r, Score: a.score, FirstCycle: a.firstCyc}
+		for id := range a.checkers {
+			s.Checkers = append(s.Checkers, id)
+		}
+		sort.Slice(s.Checkers, func(i, j int) bool { return s.Checkers[i] < s.Checkers[j] })
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].FirstCycle != out[j].FirstCycle {
+			return out[i].FirstCycle < out[j].FirstCycle
+		}
+		return out[i].Router < out[j].Router
+	})
+	return out
+}
+
+// Accuracy describes how well a suspect ranking matches the true fault
+// location.
+type Accuracy struct {
+	// Rank is the 1-based position of the true router in the ranking,
+	// or 0 if absent.
+	Rank int
+	// Distance is the mesh distance from the top suspect to the true
+	// router (-1 when there are no suspects).
+	Distance int
+}
+
+// Evaluate scores a ranking against the router that actually hosted
+// the fault.
+func Evaluate(m topology.Mesh, suspects []Suspect, actual int) Accuracy {
+	a := Accuracy{Distance: -1}
+	for i, s := range suspects {
+		if s.Router == actual {
+			a.Rank = i + 1
+			break
+		}
+	}
+	if len(suspects) > 0 {
+		a.Distance = m.HopDistance(suspects[0].Router, actual)
+	}
+	return a
+}

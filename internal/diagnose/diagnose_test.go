@@ -1,0 +1,103 @@
+package diagnose
+
+import (
+	"testing"
+
+	"nocalert/internal/core"
+	"nocalert/internal/fault"
+	"nocalert/internal/router"
+	"nocalert/internal/sim"
+	"nocalert/internal/topology"
+)
+
+func TestLocalizeEmpty(t *testing.T) {
+	if Localize(nil) != nil {
+		t.Fatal("Localize(nil) should be nil")
+	}
+}
+
+func TestLocalizeWeighting(t *testing.T) {
+	vs := []core.Violation{
+		{Checker: core.GrantWithoutRequest, Router: 3, Cycle: 100},
+		{Checker: core.ConsistentVCState, Router: 3, Cycle: 100},
+		// Downstream echo, 5 cycles later at another router.
+		{Checker: core.BufferAtomicity, Router: 7, Cycle: 105},
+	}
+	s := Localize(vs)
+	if len(s) != 2 {
+		t.Fatalf("suspects: %+v", s)
+	}
+	if s[0].Router != 3 {
+		t.Fatalf("top suspect %d, want 3", s[0].Router)
+	}
+	if s[0].Score <= s[1].Score {
+		t.Fatal("early local evidence must outweigh late remote evidence")
+	}
+	if len(s[0].Checkers) != 2 || s[0].Checkers[0] != core.GrantWithoutRequest {
+		t.Fatalf("checker attribution: %+v", s[0].Checkers)
+	}
+	if s[0].FirstCycle != 100 {
+		t.Fatalf("first cycle %d", s[0].FirstCycle)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	s := []Suspect{{Router: 5, Score: 2}, {Router: 9, Score: 1}}
+	a := Evaluate(m, s, 9)
+	if a.Rank != 2 || a.Distance != m.HopDistance(5, 9) {
+		t.Fatalf("accuracy %+v", a)
+	}
+	if got := Evaluate(m, nil, 3); got.Rank != 0 || got.Distance != -1 {
+		t.Fatalf("empty accuracy %+v", got)
+	}
+}
+
+// TestLocalizationAccuracyOnCampaign injects permanent faults across
+// the mesh and checks that the assertion pattern localizes the faulted
+// router: top suspect correct for the clear majority, and within one
+// hop almost always (corruption can only have travelled to a neighbor
+// in the first cycles).
+func TestLocalizationAccuracyOnCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("localization sweep in -short mode")
+	}
+	rc := router.Default(topology.NewMesh(4, 4))
+	params := fault.Params{Mesh: rc.Mesh, VCs: rc.VCs, BufDepth: rc.BufDepth}
+
+	detected, top1, near := 0, 0, 0
+	for _, s := range params.EnumerateSites() {
+		// One representative bit per arbiter-grant site keeps the sweep
+		// fast while covering every router.
+		switch s.Kind {
+		case fault.SA1Gnt, fault.VA1Gnt, fault.SA2Gnt:
+		default:
+			continue
+		}
+		f := fault.Fault{Site: s, Bit: 0, Cycle: 300, Type: fault.Permanent}
+		n := sim.MustNew(sim.Config{Router: rc, InjectionRate: 0.2, Seed: 31}, fault.NewPlane(f))
+		eng := core.NewEngine(n.RouterConfig(), core.Options{KeepViolations: true, MaxViolations: 200})
+		n.AttachMonitor(eng)
+		n.Run(700)
+		if !eng.Detected() {
+			continue
+		}
+		detected++
+		acc := Evaluate(rc.Mesh, Localize(eng.Violations()), s.Router)
+		if acc.Rank == 1 {
+			top1++
+		}
+		if acc.Distance >= 0 && acc.Distance <= 1 {
+			near++
+		}
+	}
+	if detected < 30 {
+		t.Fatalf("only %d faults detected; sweep too thin", detected)
+	}
+	if frac := float64(top1) / float64(detected); frac < 0.7 {
+		t.Errorf("top-1 localization %.0f%% (%d/%d), want >= 70%%", 100*frac, top1, detected)
+	}
+	if frac := float64(near) / float64(detected); frac < 0.9 {
+		t.Errorf("within-1-hop localization %.0f%% (%d/%d), want >= 90%%", 100*frac, near, detected)
+	}
+}

@@ -1,0 +1,336 @@
+// Package fault implements the paper's fault model (§5.2): single-bit
+// faults injected at the inputs and outputs of each individual control
+// module of each router. Sites are enumerated per signal and bit; the
+// router consults the injection Plane at every module boundary, so a
+// fault corrupts both the value the router acts on and the value the
+// NoCAlert checkers observe — exactly the wire-level tap a hardware
+// fault has.
+//
+// Three fault types are supported. Transient faults (the paper's
+// stimulus) XOR the target bit for a single cycle; register sites flip
+// the stored bit once, persisting until the register is rewritten, which
+// is how a single-event upset behaves in a flip-flop. Permanent faults
+// keep the XOR applied from the injection cycle onward, and intermittent
+// faults apply it with a configurable period and duty cycle — the model
+// behind the paper's Observation 3.
+package fault
+
+import "fmt"
+
+// Kind identifies the signal class a fault site belongs to. Each kind
+// fixes which module boundary the Plane is consulted at and how Port/VC
+// are interpreted.
+type Kind int
+
+// Signal classes, grouped by module. "In"/"input-port-indexed" kinds use
+// Site.Port as an input port; output-stage kinds use it as an output
+// port.
+const (
+	// RCInDestX is the destination X coordinate wire feeding an input
+	// port's routing-computation unit (module input).
+	RCInDestX Kind = iota
+	// RCInDestY is the corresponding Y coordinate wire.
+	RCInDestY
+	// RCOutDir is the output-direction vector produced by an input
+	// port's RC unit (module output).
+	RCOutDir
+	// VA1Req is the request vector of an input port's local VA arbiter.
+	VA1Req
+	// VA1Gnt is the grant vector of an input port's local VA arbiter.
+	VA1Gnt
+	// VA2Req is the request vector of an output port's global VA arbiter.
+	VA2Req
+	// VA2Gnt is the grant vector of an output port's global VA arbiter.
+	VA2Gnt
+	// VA2OutVC is the output-VC index assigned by an output port's VA
+	// stage to the winning packet.
+	VA2OutVC
+	// SA1Req is the request vector of an input port's local SA arbiter.
+	SA1Req
+	// SA1Gnt is the grant vector of an input port's local SA arbiter.
+	SA1Gnt
+	// SA2Req is the request vector of an output port's global SA arbiter.
+	SA2Req
+	// SA2Gnt is the grant vector of an output port's global SA arbiter.
+	SA2Gnt
+	// XbarSel is the column control vector of the crossbar for one
+	// output port (which input row is connected).
+	XbarSel
+	// BufRead is the per-VC read-strobe vector of an input port.
+	BufRead
+	// BufWrite is the per-VC write-strobe vector of an input port.
+	BufWrite
+	// FlitKindIn is the kind field (head/body/tail encoding) of a flit
+	// arriving at an input port.
+	FlitKindIn
+	// FlitVCIn is the VC-identifier field of a flit arriving at an
+	// input port (the demux select).
+	FlitVCIn
+	// VCStateReg is a virtual channel's pipeline-state register.
+	VCStateReg
+	// VCRouteReg is a virtual channel's stored output-port register
+	// (the latched RC result).
+	VCRouteReg
+	// VCOutVCReg is a virtual channel's stored output-VC register (the
+	// latched VA result).
+	VCOutVCReg
+	// CreditSig is the per-VC credit-return signal arriving at an
+	// output port from its downstream neighbor.
+	CreditSig
+	// CreditCountReg is the credit counter register of one output VC.
+	CreditCountReg
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"rc.in.destx", "rc.in.desty", "rc.out.dir",
+	"va1.req", "va1.gnt", "va2.req", "va2.gnt", "va2.outvc",
+	"sa1.req", "sa1.gnt", "sa2.req", "sa2.gnt",
+	"xbar.sel", "buf.read", "buf.write", "flit.kind", "flit.vc",
+	"vc.state", "vc.route", "vc.outvc", "credit.sig", "credit.count",
+}
+
+// String returns the dotted signal-path name of the kind.
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// IsRegister reports whether sites of this kind are storage elements:
+// a transient fault there flips the stored bit once and the corruption
+// persists until the register is rewritten, rather than lasting one
+// cycle on a wire.
+func (k Kind) IsRegister() bool {
+	switch k {
+	case VCStateReg, VCRouteReg, VCOutVCReg, CreditCountReg:
+		return true
+	}
+	return false
+}
+
+// InputPortIndexed reports whether Site.Port names an input port for
+// this kind (as opposed to an output port).
+func (k Kind) InputPortIndexed() bool {
+	switch k {
+	case RCInDestX, RCInDestY, RCOutDir, VA1Req, VA1Gnt, SA1Req, SA1Gnt,
+		BufRead, BufWrite, FlitKindIn, FlitVCIn, VCStateReg, VCRouteReg, VCOutVCReg:
+		return true
+	}
+	return false
+}
+
+// Site is one multi-bit fault location: a specific signal of a specific
+// module instance of a specific router.
+type Site struct {
+	// Router is the router's node id.
+	Router int
+	// Kind is the signal class.
+	Kind Kind
+	// Port is the port index the module instance belongs to; input or
+	// output port depending on Kind (see InputPortIndexed).
+	Port int
+	// VC is the virtual channel index for per-VC sites, or -1 for
+	// per-port signals.
+	VC int
+	// Width is the signal width in bits; faults target one of these.
+	Width int
+}
+
+// String renders the site as router/port[/vc]/signal.
+func (s Site) String() string {
+	if s.VC >= 0 {
+		return fmt.Sprintf("r%d.p%d.vc%d.%s", s.Router, s.Port, s.VC, s.Kind)
+	}
+	return fmt.Sprintf("r%d.p%d.%s", s.Router, s.Port, s.Kind)
+}
+
+// Type selects the temporal behaviour of a fault.
+type Type int
+
+const (
+	// Transient faults last one cycle on wires and flip registers once.
+	Transient Type = iota
+	// Permanent faults apply from the injection cycle onward.
+	Permanent
+	// Intermittent faults apply during the first Duty cycles of every
+	// Period cycles, starting at the injection cycle.
+	Intermittent
+)
+
+// String returns the fault type's name.
+func (t Type) String() string {
+	switch t {
+	case Transient:
+		return "transient"
+	case Permanent:
+		return "permanent"
+	case Intermittent:
+		return "intermittent"
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// Fault is a single-bit fault bound to a site.
+type Fault struct {
+	Site Site
+	// Bit is the bit index within the signal, in [0, Site.Width).
+	Bit int
+	// Cycle is the injection cycle.
+	Cycle int64
+	// Type is the temporal behaviour.
+	Type Type
+	// Period and Duty configure Intermittent faults; ignored otherwise.
+	Period, Duty int64
+}
+
+// ActiveAt reports whether the fault corrupts its wire during the given
+// cycle. Register sites use this only at the injection cycle (the flip
+// is then carried by the register itself).
+func (f *Fault) ActiveAt(cycle int64) bool {
+	if cycle < f.Cycle {
+		return false
+	}
+	switch f.Type {
+	case Transient:
+		return cycle == f.Cycle
+	case Permanent:
+		return true
+	case Intermittent:
+		if f.Period <= 0 {
+			return cycle == f.Cycle
+		}
+		return (cycle-f.Cycle)%f.Period < f.Duty
+	}
+	return false
+}
+
+// String renders the fault for logs and reports.
+func (f *Fault) String() string {
+	return fmt.Sprintf("%s bit%d @%d %s", f.Site, f.Bit, f.Cycle, f.Type)
+}
+
+// Plane is the injection surface routers consult at module boundaries.
+// A nil *Plane is valid and injects nothing, so fault-free simulations
+// pay only a nil check. The zero value is also an empty plane.
+type Plane struct {
+	faults []Fault
+	// FiredAt records the first cycle each fault actually corrupted a
+	// consulted signal, or -1 while it has not; campaigns use it to
+	// confirm the fault was exercised.
+	firedAt []int64
+}
+
+// NewPlane returns a plane injecting the given faults.
+func NewPlane(faults ...Fault) *Plane {
+	p := &Plane{faults: faults, firedAt: make([]int64, len(faults))}
+	for i := range p.firedAt {
+		p.firedAt[i] = -1
+	}
+	return p
+}
+
+// Faults returns the faults carried by the plane.
+func (p *Plane) Faults() []Fault {
+	if p == nil {
+		return nil
+	}
+	return p.faults
+}
+
+// FiredAt returns the first cycle fault i corrupted a signal, or -1.
+func (p *Plane) FiredAt(i int) int64 {
+	if p == nil {
+		return -1
+	}
+	return p.firedAt[i]
+}
+
+// Clone returns an independent copy of the plane.
+func (p *Plane) Clone() *Plane {
+	if p == nil {
+		return nil
+	}
+	c := &Plane{faults: append([]Fault(nil), p.faults...), firedAt: append([]int64(nil), p.firedAt...)}
+	return c
+}
+
+// xorMask returns the XOR mask to apply to the addressed signal at
+// cycle, and records firing.
+func (p *Plane) xorMask(cycle int64, router int, kind Kind, port, vc int) uint32 {
+	if p == nil || len(p.faults) == 0 {
+		return 0
+	}
+	var mask uint32
+	for i := range p.faults {
+		f := &p.faults[i]
+		s := &f.Site
+		if s.Router != router || s.Kind != kind || s.Port != port || s.VC != vc {
+			continue
+		}
+		if f.Type == Transient && kind.IsRegister() {
+			// Transient register upsets are applied destructively to the
+			// stored state via TransientRegisterFlips, not on the read path.
+			continue
+		}
+		if !f.ActiveAt(cycle) {
+			continue
+		}
+		mask |= 1 << uint(f.Bit)
+		if p.firedAt[i] < 0 {
+			p.firedAt[i] = cycle
+		}
+	}
+	return mask
+}
+
+// TransientRegisterFlips returns the transient faults targeting register
+// sites of the given router whose injection cycle is cycle. The caller
+// (the router) must flip the addressed bit in the actual stored state,
+// modelling a single-event upset that persists until the register is
+// rewritten. Returned faults are marked as fired.
+func (p *Plane) TransientRegisterFlips(cycle int64, router int) []Fault {
+	if p == nil || len(p.faults) == 0 {
+		return nil
+	}
+	var out []Fault
+	for i := range p.faults {
+		f := &p.faults[i]
+		if f.Type != Transient || !f.Site.Kind.IsRegister() {
+			continue
+		}
+		if f.Site.Router != router || f.Cycle != cycle {
+			continue
+		}
+		out = append(out, *f)
+		if p.firedAt[i] < 0 {
+			p.firedAt[i] = cycle
+		}
+	}
+	return out
+}
+
+// Word applies any matching fault to an integer-encoded signal value
+// (direction codes, VC indices, state encodings, counters) and returns
+// the possibly corrupted value. Values are treated as Width-bit
+// unsigned words, so a flipped high bit can push the value out of its
+// legal range — the illegal outputs invariances 2 and 19 watch for.
+func (p *Plane) Word(cycle int64, router int, kind Kind, port, vc int, value int) int {
+	if p == nil {
+		return value
+	}
+	m := p.xorMask(cycle, router, kind, port, vc)
+	if m == 0 {
+		return value
+	}
+	return int(uint32(value) ^ m)
+}
+
+// Vec applies any matching fault to a bit-vector signal.
+func (p *Plane) Vec(cycle int64, router int, kind Kind, port, vc int, value uint32) uint32 {
+	if p == nil {
+		return value
+	}
+	return value ^ p.xorMask(cycle, router, kind, port, vc)
+}

@@ -1,0 +1,246 @@
+// Package forever implements the ForEVeR fault-detection baseline
+// (Parikh & Bertacco, MICRO 2011) the paper compares NoCAlert against
+// (§5). ForEVeR detects faults with three cooperating techniques:
+//
+//  1. A lightweight checker network, assumed 100% reliable, that
+//     notifies each destination ahead of time of incoming flits. The
+//     destination increments a counter per notified flit and decrements
+//     it per received flit.
+//  2. Epoch timers: time is cut into fixed epochs (1,500 cycles in the
+//     paper's tuning); at each epoch boundary, every destination whose
+//     counter never touched zero during the epoch raises a flag.
+//  3. The Allocation Comparator (Shamshiri et al., ITC 2011): a small
+//     real-time monitor of the router allocators that flags a subset of
+//     invalid arbiter operations immediately.
+//
+// The epoch mechanism quantizes detection latency to thousands of
+// cycles — the property Figure 7 contrasts with NoCAlert's same-cycle
+// assertions — and its tuning trades false positives against latency.
+package forever
+
+import (
+	"nocalert/internal/flit"
+	"nocalert/internal/router"
+	"nocalert/internal/sim"
+)
+
+// Options configures the ForEVeR monitor.
+type Options struct {
+	// Epoch is the epoch length in cycles. The paper sets 1,500 for its
+	// 8×8 mesh — "the shortest period that did not yield excessive
+	// false positives".
+	Epoch int64
+	// HopLatency is the per-hop latency of the checker network in
+	// cycles. The checker network is much faster than the data network
+	// (single-flit messages, no VC allocation).
+	HopLatency int64
+	// DisableAC turns off the Allocation Comparator, leaving only the
+	// end-to-end epoch mechanism.
+	DisableAC bool
+}
+
+// DefaultOptions returns the paper's tuning.
+func DefaultOptions() Options { return Options{Epoch: 1500, HopLatency: 1} }
+
+func (o Options) withDefaults() Options {
+	if o.Epoch <= 0 {
+		o.Epoch = 1500
+	}
+	if o.HopLatency <= 0 {
+		o.HopLatency = 1
+	}
+	return o
+}
+
+// notif is an in-flight checker-network notification.
+type notif struct {
+	dest   int
+	amount int
+	at     int64
+}
+
+// Monitor is the ForEVeR detection fabric. It attaches to a network as
+// a sim.Monitor and implements sim.CloneableMonitor so campaign forks
+// preserve its in-flight notifications and counters.
+type Monitor struct {
+	sim.BaseMonitor
+	opts Options
+	cfg  *router.Config
+
+	counters []int64
+	zeroSeen []bool
+	pending  []notif // unordered; matured entries are consumed each cycle
+	// lastSeq tracks in-progress packet reassembly per destination for
+	// the end-to-end order check (packet id → last seen sequence).
+	lastSeq map[uint64]int
+
+	detections []int64 // epoch-boundary or AC detection cycles (capped)
+	first      int64
+}
+
+// NewMonitor returns a ForEVeR monitor for networks built on cfg.
+func NewMonitor(cfg *router.Config, opts Options) *Monitor {
+	nodes := cfg.Mesh.Nodes()
+	m := &Monitor{
+		opts:     opts.withDefaults(),
+		cfg:      cfg,
+		counters: make([]int64, nodes),
+		zeroSeen: make([]bool, nodes),
+		first:    -1,
+	}
+	for i := range m.zeroSeen {
+		m.zeroSeen[i] = true // counters start at zero
+	}
+	return m
+}
+
+// PacketInjected implements sim.Monitor: the source's checker-network
+// interface sends a notification carrying the packet's flit count to
+// the destination, arriving after the checker network's hop latency.
+func (m *Monitor) PacketInjected(cycle int64, node int, p *flit.Packet) {
+	hops := int64(m.cfg.Mesh.HopDistance(node, p.Dest)) + 1
+	m.pending = append(m.pending, notif{
+		dest:   p.Dest,
+		amount: p.Length,
+		at:     cycle + hops*m.opts.HopLatency,
+	})
+}
+
+// FlitEjected implements sim.Monitor: the destination decrements its
+// expectation counter — misdelivered flits decrement the wrong node's
+// counter, driving it negative, which the epoch check catches — and
+// runs ForEVeR's end-to-end checker: a reassembly check at the
+// destination that flags wrong-destination flits, EDC failures and
+// intra-packet order violations immediately.
+func (m *Monitor) FlitEjected(cycle int64, node int, f *flit.Flit) {
+	m.counters[node]--
+	if f.Dest != node || !f.EDCOK() {
+		m.flag(cycle)
+		return
+	}
+	// Reassembly order check: flits of a packet must arrive in
+	// sequence at their destination.
+	if m.lastSeq == nil {
+		m.lastSeq = make(map[uint64]int)
+	}
+	if prev, ok := m.lastSeq[f.PacketID]; ok {
+		if f.Seq != prev+1 {
+			m.flag(cycle)
+		}
+	} else if f.Seq != 0 {
+		// A packet must begin with its header flit.
+		m.flag(cycle)
+	}
+	m.lastSeq[f.PacketID] = f.Seq
+	if f.Kind.IsTail() {
+		delete(m.lastSeq, f.PacketID)
+	}
+}
+
+// RouterCycle implements sim.Monitor: the Allocation Comparator watches
+// the allocators' request/grant interfaces for a grant without a
+// request or a multi-hot grant — the invalid operations it was designed
+// to flag.
+func (m *Monitor) RouterCycle(r *router.Router, s *router.Signals) {
+	if m.opts.DisableAC {
+		return
+	}
+	banks := [...]*[router.P]router.ReqGnt{&s.VA1, &s.SA1, &s.VA2, &s.SA2}
+	for _, b := range banks {
+		for p := 0; p < router.P; p++ {
+			rg := b[p]
+			if !(rg.Gnt &^ rg.Req).IsZero() || !rg.Gnt.AtMostOneHot() {
+				m.flag(s.Cycle)
+				return
+			}
+		}
+	}
+}
+
+// EndCycle implements sim.Monitor: deliver matured notifications,
+// track zero crossings, and run the epoch-boundary check.
+func (m *Monitor) EndCycle(cycle int64) {
+	if len(m.pending) > 0 {
+		kept := m.pending[:0]
+		for _, n := range m.pending {
+			if n.at > cycle {
+				kept = append(kept, n)
+				continue
+			}
+			m.counters[n.dest] += int64(n.amount)
+		}
+		m.pending = kept
+	}
+	for i, c := range m.counters {
+		if c == 0 {
+			m.zeroSeen[i] = true
+		}
+	}
+	if (cycle+1)%m.opts.Epoch == 0 {
+		for i := range m.counters {
+			if !m.zeroSeen[i] {
+				m.flag(cycle)
+			}
+			m.zeroSeen[i] = m.counters[i] == 0
+		}
+	}
+}
+
+func (m *Monitor) flag(cycle int64) {
+	if m.first < 0 {
+		m.first = cycle
+	}
+	if len(m.detections) < 64 {
+		m.detections = append(m.detections, cycle)
+	}
+}
+
+// FirstDetection returns the first detection cycle, or -1.
+func (m *Monitor) FirstDetection() int64 { return m.first }
+
+// FirstDetectionAfter returns the first detection at or after cycle,
+// or -1. (Epoch checks may legitimately fire before a campaign's
+// injection point when the epoch is mistuned; campaigns key off the
+// injection cycle.)
+func (m *Monitor) FirstDetectionAfter(cycle int64) int64 {
+	for _, d := range m.detections {
+		if d >= cycle {
+			return d
+		}
+	}
+	return -1
+}
+
+// Detected reports whether any detection has fired.
+func (m *Monitor) Detected() bool { return m.first >= 0 }
+
+// Detections returns the recorded detection cycles (capped at 64).
+func (m *Monitor) Detections() []int64 { return m.detections }
+
+// ClearDetections forgets past detections (campaigns call this right
+// after forking so only post-injection flags count) while keeping the
+// counter state.
+func (m *Monitor) ClearDetections() {
+	m.detections = m.detections[:0]
+	m.first = -1
+}
+
+// CloneMonitor implements sim.CloneableMonitor.
+func (m *Monitor) CloneMonitor() sim.Monitor {
+	c := &Monitor{
+		opts:  m.opts,
+		cfg:   m.cfg,
+		first: m.first,
+	}
+	c.counters = append([]int64(nil), m.counters...)
+	c.zeroSeen = append([]bool(nil), m.zeroSeen...)
+	c.pending = append([]notif(nil), m.pending...)
+	c.detections = append([]int64(nil), m.detections...)
+	if m.lastSeq != nil {
+		c.lastSeq = make(map[uint64]int, len(m.lastSeq))
+		for k, v := range m.lastSeq {
+			c.lastSeq[k] = v
+		}
+	}
+	return c
+}

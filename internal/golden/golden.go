@@ -1,0 +1,209 @@
+// Package golden implements the paper's Golden Reference methodology
+// (§5.2–5.3): the ejection log of a fault-free run is compared against
+// the log of a fault-injected run to decide whether the fault caused an
+// actual network-correctness violation — the ground truth behind the
+// true/false positive/negative classification.
+//
+// The four correctness conditions (no flit drop, bounded delivery, no
+// data corruption / packet mixing, no new flit generation) are applied
+// at flit granularity, plus the intra-packet ordering rule the paper
+// adds when moving from packets to flits.
+package golden
+
+import (
+	"fmt"
+	"sort"
+
+	"nocalert/internal/flit"
+	"nocalert/internal/sim"
+)
+
+// Key identifies one flit: the packet it belongs to and its index.
+type Key struct {
+	Pkt uint64
+	Seq int
+}
+
+// Entry is one observed ejection of a flit.
+type Entry struct {
+	Node  int
+	Cycle int64
+	Kind  flit.Kind
+	Dest  int
+	EDCOK bool
+}
+
+// Log is an indexed ejection log.
+type Log struct {
+	entries map[Key][]Entry
+	// perNode preserves per-node ejection order for the intra-packet
+	// ordering rule.
+	perNode map[int][]Key
+	total   int
+}
+
+// FromEjections indexes a simulation's ejection log. Only ejections at
+// or after the `since` cycle are considered (campaigns pass the warmup
+// boundary so that forked runs compare only their divergent suffix;
+// pass 0 to index everything).
+func FromEjections(ejs []sim.Ejection, since int64) *Log {
+	l := &Log{
+		entries: make(map[Key][]Entry, len(ejs)),
+		perNode: make(map[int][]Key),
+	}
+	for _, e := range ejs {
+		if e.Cycle < since {
+			continue
+		}
+		k := Key{Pkt: e.Flit.PacketID, Seq: e.Flit.Seq}
+		l.entries[k] = append(l.entries[k], Entry{
+			Node:  e.Node,
+			Cycle: e.Cycle,
+			Kind:  e.Flit.Kind,
+			Dest:  e.Flit.Dest,
+			EDCOK: e.Flit.EDCOK(),
+		})
+		l.perNode[e.Node] = append(l.perNode[e.Node], k)
+		l.total++
+	}
+	return l
+}
+
+// Total returns the number of indexed ejections.
+func (l *Log) Total() int { return l.total }
+
+// Verdict is the network-correctness judgment for one faulty run.
+type Verdict struct {
+	// Dropped counts golden flits missing from the faulty log.
+	Dropped int
+	// Generated counts flits in the faulty log beyond the golden
+	// multiset (duplicates and spontaneous flits).
+	Generated int
+	// Misdelivered counts flits ejected at a node other than their
+	// destination.
+	Misdelivered int
+	// Corrupted counts flits whose EDC failed or whose kind no longer
+	// matches their position in the packet.
+	Corrupted int
+	// Misordered counts intra-packet order inversions at a destination.
+	Misordered int
+	// Unbounded reports that the faulty run failed to drain before its
+	// deadline (deadlock, livelock, or stuck flits).
+	Unbounded bool
+	// Reasons holds up to a few human-readable findings.
+	Reasons []string
+}
+
+// OK reports whether the run satisfied all network-correctness rules —
+// i.e. the injected fault was benign.
+func (v *Verdict) OK() bool {
+	return v.Dropped == 0 && v.Generated == 0 && v.Misdelivered == 0 &&
+		v.Corrupted == 0 && v.Misordered == 0 && !v.Unbounded
+}
+
+func (v *Verdict) addReason(format string, args ...any) {
+	if len(v.Reasons) < 8 {
+		v.Reasons = append(v.Reasons, fmt.Sprintf(format, args...))
+	}
+}
+
+// String summarizes the verdict.
+func (v *Verdict) String() string {
+	if v.OK() {
+		return "benign"
+	}
+	return fmt.Sprintf("violation{drop:%d gen:%d misdeliver:%d corrupt:%d misorder:%d unbounded:%v}",
+		v.Dropped, v.Generated, v.Misdelivered, v.Corrupted, v.Misordered, v.Unbounded)
+}
+
+// Compare judges a faulty run against the golden reference.
+// faultyDrained reports whether the faulty network emptied before its
+// drain deadline (bounded delivery).
+func Compare(goldenLog, faulty *Log, faultyDrained bool) Verdict {
+	var v Verdict
+	if !faultyDrained {
+		v.Unbounded = true
+		v.addReason("network failed to drain (bounded-delivery violation)")
+	}
+
+	// Flit conservation: golden multiset vs faulty multiset.
+	for k, ge := range goldenLog.entries {
+		fe := faulty.entries[k]
+		if len(fe) < len(ge) {
+			v.Dropped += len(ge) - len(fe)
+			v.addReason("flit p%d.%d missing (%d of %d delivered)", k.Pkt, k.Seq, len(fe), len(ge))
+		}
+	}
+	for k, fe := range faulty.entries {
+		ge := goldenLog.entries[k]
+		if len(fe) > len(ge) {
+			v.Generated += len(fe) - len(ge)
+			v.addReason("flit p%d.%d appeared %d times (golden: %d)", k.Pkt, k.Seq, len(fe), len(ge))
+		}
+		for _, e := range fe {
+			if e.Node != e.Dest {
+				v.Misdelivered++
+				v.addReason("flit p%d.%d for node %d ejected at %d", k.Pkt, k.Seq, e.Dest, e.Node)
+			}
+			if !e.EDCOK {
+				v.Corrupted++
+				v.addReason("flit p%d.%d failed its EDC", k.Pkt, k.Seq)
+			}
+			if len(ge) > 0 && e.Kind != ge[0].Kind {
+				v.Corrupted++
+				v.addReason("flit p%d.%d kind %s, golden %s", k.Pkt, k.Seq, e.Kind, ge[0].Kind)
+			}
+		}
+	}
+
+	// Intra-packet ordering at each destination: for every packet, the
+	// sequence numbers ejected at a node must be non-decreasing by
+	// position (flits of a packet are delivered in order).
+	v.Misordered += countOrderViolations(faulty)
+	if v.Misordered > 0 {
+		v.addReason("%d intra-packet order inversions", v.Misordered)
+	}
+	return v
+}
+
+func countOrderViolations(l *Log) int {
+	bad := 0
+	for _, seq := range l.perNode {
+		last := make(map[uint64]int)
+		for _, k := range seq {
+			if prev, ok := last[k.Pkt]; ok && k.Seq < prev {
+				bad++
+			}
+			last[k.Pkt] = k.Seq
+		}
+	}
+	return bad
+}
+
+// PacketsDelivered returns the number of packets with at least one
+// flit in the log, a convenience for reports.
+func (l *Log) PacketsDelivered() int {
+	seen := make(map[uint64]bool)
+	for k := range l.entries {
+		seen[k.Pkt] = true
+	}
+	return len(seen)
+}
+
+// Keys returns the flit keys in a stable order (tests).
+func (l *Log) Keys() []Key {
+	out := make([]Key, 0, len(l.entries))
+	for k := range l.entries {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkt != out[j].Pkt {
+			return out[i].Pkt < out[j].Pkt
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Entries returns the ejections recorded for a key.
+func (l *Log) Entries(k Key) []Entry { return l.entries[k] }

@@ -1,0 +1,192 @@
+// Package recovery closes the loop the paper leaves to future systems:
+// "NoCAlert is intended to be used in conjunction with fault recovery
+// techniques." It implements the simplest recovery back-end that
+// NoCAlert's instantaneous detection enables — source retransmission of
+// end-to-end-unconfirmed packets, armed by the checker fabric's alarm.
+//
+// The controller supervises logical packets: every offered packet must
+// eventually deliver all of its flits, uncorrupted, at its destination.
+// While the network is healthy (no assertion has ever fired) it does
+// nothing. Once NoCAlert raises an alarm, packets that remain
+// unconfirmed past a timeout are retransmitted from the source NI (a
+// fresh physical packet carrying the same logical identity), up to a
+// retry budget. Because detection is same-cycle, the timeout can be
+// tight — the recovery-exposure tables in the campaign reports quantify
+// how much looser an epoch-based detector forces it to be.
+//
+// This recovers traffic lost to transient faults (dropped or corrupted
+// flits). It cannot, by itself, recover from a permanently deadlocked
+// region — retransmissions would follow the same deterministic route —
+// which is exactly why the paper pairs detection with reconfiguration
+// for permanent faults.
+package recovery
+
+import (
+	"nocalert/internal/core"
+	"nocalert/internal/flit"
+	"nocalert/internal/sim"
+)
+
+// Options tunes the controller.
+type Options struct {
+	// Timeout is the age (in cycles) past which an unconfirmed packet
+	// becomes eligible for retransmission, counted from its most recent
+	// attempt. Must comfortably exceed the network's worst-case
+	// delivery latency to avoid spurious duplicates.
+	Timeout int64
+	// MaxRetries bounds retransmissions per logical packet.
+	MaxRetries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout <= 0 {
+		o.Timeout = 500
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 3
+	}
+	return o
+}
+
+// logical tracks one logical packet across its physical attempts.
+type logical struct {
+	id               uint64 // original packet id (the logical identity)
+	src, dest, class int
+	length           int
+	lastAttemptAt    int64
+	retries          int
+	delivered        bool
+	// got[attempt][seq] marks flits confirmed at the destination.
+	got map[uint64]map[int]bool
+}
+
+// Controller is the recovery back-end; attach it to the same network as
+// the NoCAlert engine whose alarm arms it.
+type Controller struct {
+	sim.BaseMonitor
+	net  *sim.Network
+	eng  *core.Engine
+	opts Options
+
+	// reinjecting suppresses PacketInjected while the controller's own
+	// InjectPacket call is on the stack (the network announces it
+	// synchronously).
+	reinjecting bool
+
+	logicals  map[uint64]*logical // by original packet id
+	order     []uint64            // original ids in creation order (deterministic retransmission)
+	byAttempt map[uint64]uint64   // physical attempt id → original id
+
+	retransmissions int
+}
+
+// NewController builds a controller for net, armed by eng's detections.
+// Attach it to net with AttachMonitor after constructing it.
+func NewController(net *sim.Network, eng *core.Engine, opts Options) *Controller {
+	return &Controller{
+		net:       net,
+		eng:       eng,
+		opts:      opts.withDefaults(),
+		logicals:  make(map[uint64]*logical),
+		byAttempt: make(map[uint64]uint64),
+	}
+}
+
+// PacketInjected implements sim.Monitor: unknown packets open a new
+// logical record; packets the controller reinjected are attempts of an
+// existing one (registered in EndCycle before injection).
+func (c *Controller) PacketInjected(cycle int64, node int, p *flit.Packet) {
+	if c.reinjecting {
+		return
+	}
+	if _, ours := c.byAttempt[p.ID]; ours {
+		return
+	}
+	c.byAttempt[p.ID] = p.ID
+	c.order = append(c.order, p.ID)
+	c.logicals[p.ID] = &logical{
+		id:  p.ID,
+		src: p.Src, dest: p.Dest, class: p.Class, length: p.Length,
+		lastAttemptAt: cycle,
+		got:           map[uint64]map[int]bool{p.ID: make(map[int]bool)},
+	}
+}
+
+// FlitEjected implements sim.Monitor: flits arriving intact at the
+// right node confirm their attempt; a fully confirmed attempt delivers
+// the logical packet.
+func (c *Controller) FlitEjected(cycle int64, node int, f *flit.Flit) {
+	orig, ok := c.byAttempt[f.PacketID]
+	if !ok {
+		return
+	}
+	l := c.logicals[orig]
+	if l == nil || l.delivered {
+		return
+	}
+	if node != l.dest || !f.EDCOK() {
+		return
+	}
+	seqs := l.got[f.PacketID]
+	if seqs == nil {
+		return
+	}
+	if f.Seq >= 0 && f.Seq < l.length {
+		seqs[f.Seq] = true
+	}
+	if len(seqs) == l.length {
+		l.delivered = true
+	}
+}
+
+// EndCycle implements sim.Monitor: once the alarm is armed, timed-out
+// logical packets are retransmitted from their sources.
+func (c *Controller) EndCycle(cycle int64) {
+	if !c.eng.Detected() {
+		return
+	}
+	for _, id := range c.order {
+		l := c.logicals[id]
+		if l.delivered || l.retries >= c.opts.MaxRetries {
+			continue
+		}
+		if cycle-l.lastAttemptAt < c.opts.Timeout {
+			continue
+		}
+		c.reinjecting = true
+		id := c.net.InjectPacket(l.src, l.dest, l.class)
+		c.reinjecting = false
+		c.byAttempt[id] = l.id
+		l.got[id] = make(map[int]bool)
+		l.lastAttemptAt = cycle
+		l.retries++
+		c.retransmissions++
+	}
+}
+
+// Stats summarizes the controller's view.
+type Stats struct {
+	// Logical is the number of logical packets supervised.
+	Logical int
+	// Delivered counts logical packets fully confirmed at their
+	// destination.
+	Delivered int
+	// Unrecovered counts logical packets still unconfirmed.
+	Unrecovered int
+	// Retransmissions counts physical reinjections performed.
+	Retransmissions int
+}
+
+// Stats returns the current recovery accounting.
+func (c *Controller) Stats() Stats {
+	s := Stats{Retransmissions: c.retransmissions}
+	for _, l := range c.logicals {
+		s.Logical++
+		if l.delivered {
+			s.Delivered++
+		} else {
+			s.Unrecovered++
+		}
+	}
+	return s
+}

@@ -1,0 +1,165 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42, 7)
+	b := New(42, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() != b.Uint32() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1, 0)
+	b := New(2, 0)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 equal draws", same)
+	}
+}
+
+func TestStreamsDiffer(t *testing.T) {
+	a := New(1, 0)
+	b := New(1, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different streams produced %d/100 equal draws", same)
+	}
+}
+
+func TestCloneContinuesIdentically(t *testing.T) {
+	g := New(9, 3)
+	for i := 0; i < 37; i++ {
+		g.Uint32()
+	}
+	c := g.Clone()
+	for i := 0; i < 500; i++ {
+		if g.Uint64() != c.Uint64() {
+			t.Fatalf("clone diverged at draw %d", i)
+		}
+	}
+}
+
+// TestIntnBounds is a property test: Intn(n) always lands in [0, n).
+func TestIntnBounds(t *testing.T) {
+	g := New(11, 0)
+	f := func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := g.Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1, 0).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	g := New(123, 5)
+	const n, draws = 8, 80000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[g.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.06*want {
+			t.Errorf("bucket %d: %d draws, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	g := New(77, 0)
+	var sum float64
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		v := g.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+		sum += v
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean %.4f, want ~0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	g := New(5, 5)
+	for i := 0; i < 100; i++ {
+		if g.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !g.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+	hits := 0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		if g.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / draws; math.Abs(rate-0.25) > 0.01 {
+		t.Errorf("Bernoulli(0.25) rate %.4f", rate)
+	}
+}
+
+// TestPermIsPermutation is a property test: Perm(n) is always a
+// permutation of [0, n).
+func TestPermIsPermutation(t *testing.T) {
+	g := New(31, 2)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := g.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var g PCG
+	// The zero value must not panic and must produce a stream.
+	a, b := g.Uint32(), g.Uint32()
+	_ = a
+	_ = b
+}

@@ -1,0 +1,67 @@
+package router
+
+import (
+	"nocalert/internal/fault"
+	"nocalert/internal/flit"
+)
+
+// Clone returns a deep copy of the router using the given fault plane
+// (nil for a fault-free continuation). The copy shares only the
+// immutable configuration with the original. Cloning is only meaningful
+// at a cycle boundary — after the network has collected departures and
+// credits — when the per-cycle staging areas are empty; campaigns rely
+// on this to fork thousands of faulty continuations from one warmed
+// network.
+func (r *Router) Clone(plane *fault.Plane) *Router {
+	c := &Router{
+		id:      r.id,
+		x:       r.x,
+		y:       r.y,
+		cfg:     r.cfg,
+		hasPort: r.hasPort,
+		plane:   plane,
+		stCol:   r.stCol,
+		readEn:  r.readEn,
+		stOut:   r.stOut,
+		stSpec:  r.stSpec,
+	}
+	c.va1WinnerReg = r.va1WinnerReg
+	for p := 0; p < P; p++ {
+		if !r.hasPort[p] {
+			continue
+		}
+		c.in[p] = r.in[p].clone(r.cfg.BufDepth)
+		c.out[p].vcs = append([]outVCState(nil), r.out[p].vcs...)
+		c.va1[p] = r.va1[p].Clone()
+		c.sa1[p] = r.sa1[p].Clone()
+		c.va2[p] = r.va2[p].Clone()
+		c.sa2[p] = r.sa2[p].Clone()
+		if f := r.arriving[p]; f != nil {
+			c.arriving[p] = f.Clone()
+		}
+		c.creditIn[p] = r.creditIn[p]
+	}
+	c.sig.Pre.init(r.cfg)
+	return c
+}
+
+func (ip inputPort) clone(depth int) inputPort {
+	out := inputPort{sa1WinnerReg: ip.sa1WinnerReg}
+	out.vcs = make([]inVC, len(ip.vcs))
+	for i := range ip.vcs {
+		src := &ip.vcs[i]
+		dst := &out.vcs[i]
+		*dst = *src
+		dst.buf = make([]*flit.Flit, len(src.buf), depth)
+		for j, f := range src.buf {
+			dst.buf[j] = f.Clone()
+		}
+		if src.lastRead != nil {
+			dst.lastRead = src.lastRead.Clone()
+		}
+		if src.lastWritten != nil {
+			dst.lastWritten = src.lastWritten.Clone()
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+// Package router implements the paper's baseline NoC router (§3.1): an
+// input-buffered, wormhole-switched, virtual-channel router with a
+// five-stage pipeline — Routing Computation (RC), Virtual-channel
+// Allocation (VA, separable into local VA1 and global VA2), Switch
+// Arbitration (SA, separable into SA1 and SA2), crossbar (XBAR)
+// traversal and Link Traversal — with credit-based flow control and
+// atomic or non-atomic VC buffers.
+//
+// The router exposes every control signal of every cycle in a Signals
+// record. That record is simultaneously the probe surface for the
+// NoCAlert invariance checkers and the injection surface for the fault
+// plane: faults are applied exactly where the signal crosses a module
+// boundary, so the corrupted value both steers the router's actual
+// behaviour and is what the checkers observe — the same tap a hardware
+// assertion has on a faulted wire.
+package router
+
+import (
+	"fmt"
+
+	"nocalert/internal/routing"
+	"nocalert/internal/topology"
+)
+
+// VCIDWidth is the fixed width in bits of virtual-channel identifier
+// fields (assigned output VC, flit VC field, stored output-VC register).
+// The encoding is wider than strictly needed for small VC counts, as in
+// real routers sized for their largest configuration, which is what
+// makes "invalid output VC value" (invariance 19) a reachable illegal
+// output: with 4 VCs, codes 4–7 are out of range.
+const VCIDWidth = 3
+
+// DirWidth is the width in bits of output-direction codes. Values 0–4
+// name the five ports; 5–7 are the illegal codes invariance 2 watches
+// for.
+const DirWidth = 3
+
+// MaxVCs is the largest supported VC count per input port, bounded by
+// the VC-identifier encoding.
+const MaxVCs = 1 << VCIDWidth
+
+// Config fixes the router micro-architecture. The zero value is not
+// usable; call Default and adjust.
+type Config struct {
+	// Mesh is the network topology the router lives in.
+	Mesh topology.Mesh
+	// VCs is the number of virtual channels per input port.
+	VCs int
+	// BufDepth is the per-VC buffer depth in flits.
+	BufDepth int
+	// Classes is the number of protocol-level message classes. The VCs
+	// of each port are partitioned evenly among classes, modelling the
+	// cache-coherence message-class separation of a CMP.
+	Classes int
+	// LenByClass gives the fixed packet length (in flits) of each
+	// message class — the pre-defined constant behind invariance 28.
+	LenByClass []int
+	// Alg is the routing algorithm.
+	Alg routing.Algorithm
+	// AtomicVC selects atomic VC buffers (only one packet resident at a
+	// time, the paper's default). When false, buffers are non-atomic
+	// and invariance 27 replaces invariance 26.
+	AtomicVC bool
+	// Speculative runs VA and SA concurrently (the §4.4 variation):
+	// VCs still waiting for VA may arbitrate for the switch, and a
+	// speculative switch grant is nullified if VA has not completed by
+	// traversal time. Invariance 17's SA-after-VA clause is relaxed.
+	Speculative bool
+}
+
+// Default returns the paper's evaluation configuration: 4 VCs per port,
+// 5-flit atomic buffers, one message class of 5-flit packets, XY
+// routing.
+func Default(m topology.Mesh) Config {
+	return Config{
+		Mesh:       m,
+		VCs:        4,
+		BufDepth:   5,
+		Classes:    1,
+		LenByClass: []int{5},
+		Alg:        routing.XY{},
+		AtomicVC:   true,
+	}
+}
+
+// Validate checks the configuration for internal consistency.
+func (c *Config) Validate() error {
+	if c.Mesh.W < 1 || c.Mesh.H < 1 {
+		return fmt.Errorf("router: invalid mesh %dx%d", c.Mesh.W, c.Mesh.H)
+	}
+	if c.VCs < 1 || c.VCs > MaxVCs {
+		return fmt.Errorf("router: VCs must be in [1,%d], got %d", MaxVCs, c.VCs)
+	}
+	if c.BufDepth < 1 {
+		return fmt.Errorf("router: buffer depth must be >= 1, got %d", c.BufDepth)
+	}
+	if c.Classes < 1 || c.Classes > c.VCs {
+		return fmt.Errorf("router: classes must be in [1,VCs=%d], got %d", c.VCs, c.Classes)
+	}
+	if c.VCs%c.Classes != 0 {
+		return fmt.Errorf("router: VCs (%d) must divide evenly into classes (%d)", c.VCs, c.Classes)
+	}
+	if len(c.LenByClass) != c.Classes {
+		return fmt.Errorf("router: LenByClass has %d entries for %d classes", len(c.LenByClass), c.Classes)
+	}
+	for cl, n := range c.LenByClass {
+		if n < 1 {
+			return fmt.Errorf("router: class %d has invalid packet length %d", cl, n)
+		}
+	}
+	if c.Alg == nil {
+		return fmt.Errorf("router: no routing algorithm configured")
+	}
+	return nil
+}
+
+// ClassOfVC returns the message class owning virtual channel vc.
+func (c *Config) ClassOfVC(vc int) int {
+	per := c.VCs / c.Classes
+	cl := vc / per
+	if cl >= c.Classes {
+		cl = c.Classes - 1
+	}
+	return cl
+}
+
+// VCRange returns the half-open VC index range [lo, hi) owned by class.
+func (c *Config) VCRange(class int) (lo, hi int) {
+	per := c.VCs / c.Classes
+	return class * per, (class + 1) * per
+}
+
+// PacketLen returns the fixed flit count of packets in class.
+func (c *Config) PacketLen(class int) int {
+	if class < 0 || class >= len(c.LenByClass) {
+		return c.LenByClass[0]
+	}
+	return c.LenByClass[class]
+}

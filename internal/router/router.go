@@ -1,0 +1,735 @@
+package router
+
+import (
+	"fmt"
+
+	"nocalert/internal/arbiter"
+	"nocalert/internal/bitvec"
+	"nocalert/internal/fault"
+	"nocalert/internal/flit"
+	"nocalert/internal/topology"
+)
+
+// CreditOut is a credit the router returns upstream after draining one
+// buffer slot of input port Port, virtual channel VC. The network
+// delivers it to the upstream router's matching output port (or to the
+// local network interface) with one cycle of latency.
+type CreditOut struct {
+	Port topology.Direction
+	VC   int
+}
+
+// Router is one five-stage pipelined NoC router. All mutable state is
+// reachable from the struct and deep-copied by Clone, which is what
+// lets fault campaigns fork thousands of runs from one warmed network.
+type Router struct {
+	id   int
+	x, y int
+	cfg  *Config
+
+	hasPort [P]bool
+	in      [P]inputPort
+	out     [P]outputPort
+
+	va1 [P]arbiter.Arbiter // local VA arbiters, per input port
+	sa1 [P]arbiter.Arbiter // local SA arbiters, per input port
+	va2 [P]arbiter.Arbiter // global VA arbiters, per output port
+	sa2 [P]arbiter.Arbiter // global SA arbiters, per output port
+
+	// va1WinnerReg latches each input port's most recent VA1 winner;
+	// like sa1WinnerReg it is sticky, so a faulted VA2 grant to a port
+	// with no fresh VA1 win drives a stale VC — the hardware-accurate
+	// failure mode.
+	va1WinnerReg [P]int
+
+	// Switch-traversal pipeline latches, written by SA at cycle t and
+	// consumed by the crossbar at t+1.
+	stCol  [P]bitvec.Vec // per output port: granted input rows
+	readEn [P]bool       // per input port: read enable
+	stOut  [P]int        // per input port: intended output port
+	stSpec [P]bool       // per input port: grant was speculative
+
+	plane *fault.Plane
+
+	// Per-cycle staging filled by the network before Evaluate.
+	arriving [P]*flit.Flit
+	creditIn [P]bitvec.Vec
+
+	sig        Signals
+	creditsOut []CreditOut
+}
+
+// New constructs the router for node id of the configured mesh. The
+// plane may be nil for fault-free operation.
+func New(id int, cfg *Config, plane *fault.Plane) *Router {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("router: %v", err))
+	}
+	r := &Router{id: id, cfg: cfg, plane: plane}
+	r.x, r.y = cfg.Mesh.Coords(id)
+	for d := topology.North; d < topology.NumPorts; d++ {
+		p := int(d)
+		if !cfg.Mesh.HasPort(id, d) {
+			continue
+		}
+		r.hasPort[p] = true
+		r.in[p].vcs = make([]inVC, cfg.VCs)
+		for v := range r.in[p].vcs {
+			r.in[p].vcs[v].reset()
+			r.in[p].vcs[v].buf = make([]*flit.Flit, 0, cfg.BufDepth)
+		}
+		r.out[p].vcs = make([]outVCState, cfg.VCs)
+		for v := range r.out[p].vcs {
+			r.out[p].vcs[v] = outVCState{free: true, credits: cfg.BufDepth}
+		}
+		r.va1[p] = arbiter.NewRoundRobin(cfg.VCs)
+		r.sa1[p] = arbiter.NewRoundRobin(cfg.VCs)
+		r.va2[p] = arbiter.NewRoundRobin(P)
+		r.sa2[p] = arbiter.NewRoundRobin(P)
+	}
+	for p := range r.stOut {
+		r.stOut[p] = -1
+	}
+	r.sig.Pre.init(cfg)
+	return r
+}
+
+func (pre *Pre) init(cfg *Config) {
+	for p := 0; p < P; p++ {
+		pre.In[p] = make([]PreVC, cfg.VCs)
+		pre.Out[p] = make([]PreOutVC, cfg.VCs)
+	}
+}
+
+// ID returns the router's node id.
+func (r *Router) ID() int { return r.id }
+
+// Config returns the shared router configuration.
+func (r *Router) Config() *Config { return r.cfg }
+
+// HasPort reports whether the router has the given port.
+func (r *Router) HasPort(d topology.Direction) bool { return r.hasPort[int(d)] }
+
+// SetPlane replaces the fault plane (used when forking campaign runs).
+func (r *Router) SetPlane(p *fault.Plane) { r.plane = p }
+
+// Signals returns the current cycle's signal record. The record is
+// valid until the next BeginCycle.
+func (r *Router) Signals() *Signals { return &r.sig }
+
+// Credits returns the credits emitted by the last Evaluate.
+func (r *Router) Credits() []CreditOut { return r.creditsOut }
+
+// StageArrival presents a flit on input port d; it is consumed by the
+// next Evaluate. Staging two flits on one port in one cycle is a
+// protocol violation by the caller and panics.
+func (r *Router) StageArrival(d topology.Direction, f *flit.Flit) {
+	p := int(d)
+	if r.arriving[p] != nil {
+		panic(fmt.Sprintf("router %d: two flits staged on port %s in one cycle", r.id, d))
+	}
+	r.arriving[p] = f
+}
+
+// StageCredit presents a returning credit for VC vc of output port d.
+func (r *Router) StageCredit(d topology.Direction, vc int) {
+	r.creditIn[int(d)] = r.creditIn[int(d)].Set(vc)
+}
+
+// ---- faulted register read path ----
+
+func (r *Router) vcStateR(cycle int64, p, v int) VCState {
+	raw := r.plane.Word(cycle, r.id, fault.VCStateReg, p, v, int(r.in[p].vcs[v].state))
+	return VCState(raw & 7)
+}
+
+func (r *Router) vcRouteR(cycle int64, p, v int) int {
+	return r.plane.Word(cycle, r.id, fault.VCRouteReg, p, v, r.in[p].vcs[v].route) & (1<<DirWidth - 1)
+}
+
+func (r *Router) vcOutVCR(cycle int64, p, v int) int {
+	return r.plane.Word(cycle, r.id, fault.VCOutVCReg, p, v, r.in[p].vcs[v].outVC) & (MaxVCs - 1)
+}
+
+func (r *Router) creditMask() int { return 1<<fault.BitsFor(r.cfg.BufDepth) - 1 }
+
+func (r *Router) creditR(cycle int64, o, v int) int {
+	return r.plane.Word(cycle, r.id, fault.CreditCountReg, o, v, r.out[o].vcs[v].credits) & r.creditMask()
+}
+
+// ---- cycle evaluation ----
+
+// BeginCycle starts cycle t: single-event upsets scheduled for this
+// cycle are applied to the storage elements, and the pre-cycle
+// architectural snapshot is taken (through the faulted read path, the
+// same view the hardware checkers have).
+func (r *Router) BeginCycle(cycle int64) {
+	r.applyRegisterUpsets(cycle)
+	r.sig.reset(r.id, cycle)
+	r.creditsOut = r.creditsOut[:0]
+	for p := 0; p < P; p++ {
+		if !r.hasPort[p] {
+			continue
+		}
+		for v := 0; v < r.cfg.VCs; v++ {
+			vc := &r.in[p].vcs[v]
+			pv := PreVC{
+				State:   r.vcStateR(cycle, p, v),
+				BufLen:  len(vc.buf),
+				Route:   r.vcRouteR(cycle, p, v),
+				OutVC:   r.vcOutVCR(cycle, p, v),
+				Arrived: vc.arrived,
+				PktID:   vc.pktID,
+				Class:   r.cfg.ClassOfVC(v),
+			}
+			if h := vc.head(); h != nil {
+				pv.HasHead = true
+				pv.HeadKind = h.Kind
+				pv.HeadPkt = h.PacketID
+				pv.Class = h.Class
+			}
+			r.sig.Pre.In[p][v] = pv
+			ovc := &r.out[p].vcs[v]
+			r.sig.Pre.Out[p][v] = PreOutVC{
+				Free:     ovc.free,
+				Credits:  r.creditR(cycle, p, v),
+				TailSent: ovc.tailSent,
+			}
+		}
+	}
+}
+
+func (r *Router) applyRegisterUpsets(cycle int64) {
+	for _, f := range r.plane.TransientRegisterFlips(cycle, r.id) {
+		s := f.Site
+		if s.Port < 0 || s.Port >= P || !r.hasPort[s.Port] {
+			continue
+		}
+		if s.VC < 0 || s.VC >= r.cfg.VCs {
+			continue
+		}
+		bit := 1 << uint(f.Bit)
+		switch s.Kind {
+		case fault.VCStateReg:
+			vc := &r.in[s.Port].vcs[s.VC]
+			vc.state = VCState((int(vc.state) ^ bit) & 7)
+		case fault.VCRouteReg:
+			vc := &r.in[s.Port].vcs[s.VC]
+			vc.route = (vc.route ^ bit) & (1<<DirWidth - 1)
+		case fault.VCOutVCReg:
+			vc := &r.in[s.Port].vcs[s.VC]
+			vc.outVC = (vc.outVC ^ bit) & (MaxVCs - 1)
+		case fault.CreditCountReg:
+			ovc := &r.out[s.Port].vcs[s.VC]
+			ovc.credits = (ovc.credits ^ bit) & r.creditMask()
+		}
+	}
+}
+
+// Evaluate runs one cycle of the router pipeline. Phases execute in an
+// order that gives each flit at most one stage per cycle: buffer writes
+// and credit returns first (folded into the RC stage as in GARNET's
+// BW/RC stage), then crossbar traversal of last cycle's switch grants,
+// then SA, VA and RC. Departures are exposed via Signals().Departures
+// and credits via Credits().
+func (r *Router) Evaluate(cycle int64) {
+	r.phaseBW(cycle)
+	r.phaseST(cycle)
+	r.phaseSA(cycle)
+	r.phaseVA(cycle)
+	r.phaseRC(cycle)
+}
+
+// phaseBW latches arriving flits into VC buffers and absorbs returning
+// credits.
+func (r *Router) phaseBW(cycle int64) {
+	for p := 0; p < P; p++ {
+		if !r.hasPort[p] {
+			continue
+		}
+		if f := r.arriving[p]; f != nil {
+			r.arriving[p] = nil
+			r.writeFlit(cycle, p, f)
+		}
+		cin := r.plane.Vec(cycle, r.id, fault.CreditSig, p, -1, uint32(r.creditIn[p]))
+		r.creditIn[p] = 0
+		vec := bitvec.Vec(cin) & bitvec.Mask(r.cfg.VCs)
+		r.sig.CreditsIn[p] = vec
+		for _, v := range vec.Bits() {
+			ovc := &r.out[p].vcs[v]
+			ovc.credits = (ovc.credits + 1) & r.creditMask()
+			if ovc.tailSent && !ovc.free && ovc.credits >= r.cfg.BufDepth {
+				// Wormhole fully drained downstream: recycle the VC.
+				ovc.free = true
+				ovc.tailSent = false
+			}
+		}
+	}
+}
+
+func (r *Router) writeFlit(cycle int64, p int, f *flit.Flit) {
+	kindRaw := r.plane.Word(cycle, r.id, fault.FlitKindIn, p, -1, int(f.Kind)) & 3
+	f.Kind = flit.Kind(kindRaw)
+	vcRaw := r.plane.Word(cycle, r.id, fault.FlitVCIn, p, -1, f.VC) & (MaxVCs - 1)
+	f.VC = vcRaw
+	var strobe bitvec.Vec
+	if vcRaw < r.cfg.VCs {
+		strobe = bitvec.New(vcRaw)
+	}
+	strobe = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.BufWrite, p, -1, uint32(strobe))) & bitvec.Mask(r.cfg.VCs)
+	arr := Arrival{Port: p, Kind: f.Kind, VCField: vcRaw, Strobe: strobe, Flit: f}
+	targets := strobe.Bits()
+	for i, v := range targets {
+		vc := &r.in[p].vcs[v]
+		t := WriteTarget{
+			VC:          v,
+			FullBefore:  vc.full(r.cfg.BufDepth),
+			StateBefore: r.vcStateR(cycle, p, v),
+			ResidentPkt: vc.pktID,
+		}
+		if vc.lastWritten != nil {
+			t.HasPrev = true
+			t.PrevKind = vc.lastWritten.Kind
+		}
+		if !t.FullBefore {
+			stored := f
+			if i > 0 {
+				// A multi-strobe write (fault) latches copies into each
+				// addressed buffer — spontaneous flit duplication.
+				stored = f.Clone()
+			}
+			vc.push(stored)
+			if stored.Kind.IsHead() {
+				vc.arrived = 1
+				if vc.state == VCIdle {
+					vc.state = VCRouting
+					vc.pktID = stored.PacketID
+					vc.route = rawInvalidDir
+					vc.outVC = 0
+				}
+				// A header landing on a busy VC is an atomicity breach;
+				// the resident wormhole's registers are left in place and
+				// the interloper mixes in behind it.
+			} else {
+				vc.arrived++
+			}
+		}
+		t.ArrivedAfter = vc.arrived
+		arr.Targets = append(arr.Targets, t)
+	}
+	r.sig.Arrivals = append(r.sig.Arrivals, arr)
+}
+
+// phaseST performs crossbar traversal for last cycle's switch grants:
+// per-input read strobes pop the buffers, rows drive flits, and the
+// (possibly faulted) column control vectors connect rows to outputs.
+func (r *Router) phaseST(cycle int64) {
+	var rowFlit [P]*flit.Flit
+	var rowGarbage [P]bool
+	for p := 0; p < P; p++ {
+		if !r.hasPort[p] || !r.readEn[p] {
+			continue
+		}
+		r.readEn[p] = false
+		intended := r.stOut[p]
+		r.stOut[p] = -1
+		spec := r.stSpec[p]
+		r.stSpec[p] = false
+
+		vcSel := r.in[p].sa1WinnerReg
+		nullified := false
+		if spec {
+			// Commit check for a speculative grant: VA must have
+			// completed and a credit must be available.
+			st := r.vcStateR(cycle, p, vcSel)
+			ovc := r.vcOutVCR(cycle, p, vcSel)
+			if st != VCActive || ovc >= r.cfg.VCs || intended < 0 || r.creditR(cycle, intended, ovc) <= 0 {
+				nullified = true
+				if intended >= 0 {
+					r.sig.XbarSpecNull = r.sig.XbarSpecNull.Set(intended)
+				}
+			} else {
+				o := &r.out[intended].vcs[ovc]
+				o.credits = (o.credits - 1) & r.creditMask()
+			}
+		}
+		var strobe bitvec.Vec
+		if !nullified && vcSel < r.cfg.VCs {
+			strobe = bitvec.New(vcSel)
+		}
+		strobe = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.BufRead, p, -1, uint32(strobe))) & bitvec.Mask(r.cfg.VCs)
+		var emptyBits bitvec.Vec
+		var selFlit, firstFlit *flit.Flit
+		var selGarbage, firstGarbage bool
+		for _, v := range strobe.Bits() {
+			vc := &r.in[p].vcs[v]
+			if vc.empty() {
+				emptyBits = emptyBits.Set(v)
+			}
+			f, garbage := vc.pop()
+			if f == nil {
+				continue // nothing was ever read from this buffer
+			}
+			f.VC = r.vcOutVCR(cycle, p, v)
+			if !garbage {
+				r.creditsOut = append(r.creditsOut, CreditOut{Port: topology.Direction(p), VC: v})
+				if f.Kind.IsTail() {
+					r.teardown(p, v, intended, f)
+				}
+			}
+			if v == vcSel {
+				selFlit, selGarbage = f, garbage
+			} else if firstFlit == nil {
+				firstFlit, firstGarbage = f, garbage
+			}
+		}
+		if selFlit != nil {
+			rowFlit[p], rowGarbage[p] = selFlit, selGarbage
+		} else {
+			rowFlit[p], rowGarbage[p] = firstFlit, firstGarbage
+		}
+		r.sig.Reads[p] = ReadSig{Strobe: strobe, EmptyBits: emptyBits}
+	}
+
+	var usedRows bitvec.Vec
+	for o := 0; o < P; o++ {
+		if !r.hasPort[o] {
+			continue
+		}
+		col := r.stCol[o]
+		r.stCol[o] = 0
+		col = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.XbarSel, o, -1, uint32(col))) & bitvec.Mask(P)
+		r.sig.XbarCol[o] = col
+		took := false
+		for _, row := range col.Bits() {
+			if took || rowFlit[row] == nil {
+				// A second connected row collides on the output bus (the
+				// first wins); an empty row transmits nothing.
+				continue
+			}
+			took = true
+			f := rowFlit[row]
+			if usedRows.Get(row) {
+				// Two columns latched the same row: the flit fans out —
+				// spontaneous duplication.
+				f = f.Clone()
+			}
+			usedRows = usedRows.Set(row)
+			r.sig.Departures = append(r.sig.Departures, Departure{
+				OutPort: o, OutVC: f.VC, InPort: row, Flit: f, Garbage: rowGarbage[row],
+			})
+		}
+	}
+	in := 0
+	var rows bitvec.Vec
+	for p := 0; p < P; p++ {
+		if rowFlit[p] != nil {
+			in++
+			rows = rows.Set(p)
+		}
+	}
+	r.sig.XbarRows = rows
+	r.sig.XbarIn = in
+	r.sig.XbarOut = len(r.sig.Departures)
+}
+
+// teardown recycles an input VC after its tail flit departs.
+func (r *Router) teardown(p, v, intendedOut int, tail *flit.Flit) {
+	vc := &r.in[p].vcs[v]
+	if intendedOut >= 0 && r.hasPort[intendedOut] && tail.VC < r.cfg.VCs {
+		r.out[intendedOut].vcs[tail.VC].tailSent = true
+	}
+	if !r.cfg.AtomicVC {
+		if h := vc.head(); h != nil && h.Kind.IsHead() {
+			// The next packet is already buffered; restart its pipeline.
+			vc.state = VCRouting
+			vc.pktID = h.PacketID
+			vc.route = rawInvalidDir
+			vc.outVC = 0
+			return
+		}
+	}
+	vc.reset()
+}
+
+// phaseSA runs the separable switch allocation: SA1 picks one VC per
+// input port (checking downstream credits), SA2 picks one input port
+// per output port and latches the crossbar reservation for next cycle.
+func (r *Router) phaseSA(cycle int64) {
+	var sa1win [P]int
+	var sa1spec [P]bool
+	for p := 0; p < P; p++ {
+		sa1win[p] = -1
+		if !r.hasPort[p] {
+			continue
+		}
+		var req bitvec.Vec
+		var specBits bitvec.Vec
+		for v := 0; v < r.cfg.VCs; v++ {
+			vc := &r.in[p].vcs[v]
+			if vc.empty() {
+				continue
+			}
+			st := r.vcStateR(cycle, p, v)
+			switch {
+			case st == VCActive:
+				route := r.vcRouteR(cycle, p, v)
+				if route >= P || !r.hasPort[route] {
+					continue
+				}
+				ovc := r.vcOutVCR(cycle, p, v)
+				if ovc >= r.cfg.VCs || r.creditR(cycle, route, ovc) <= 0 {
+					continue
+				}
+				req = req.Set(v)
+			case r.cfg.Speculative && st == VCWaitingVA:
+				route := r.vcRouteR(cycle, p, v)
+				if route >= P || !r.hasPort[route] {
+					continue
+				}
+				req = req.Set(v)
+				specBits = specBits.Set(v)
+			}
+		}
+		req = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.SA1Req, p, -1, uint32(req))) & bitvec.Mask(r.cfg.VCs)
+		gnt := r.sa1[p].Arbitrate(req)
+		gnt = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.SA1Gnt, p, -1, uint32(gnt))) & bitvec.Mask(r.cfg.VCs)
+		r.sig.SA1[p] = ReqGnt{Req: req, Gnt: gnt}
+		if w := gnt.First(); w >= 0 {
+			sa1win[p] = w
+			sa1spec[p] = specBits.Get(w)
+			r.in[p].sa1WinnerReg = w
+		}
+	}
+	for o := 0; o < P; o++ {
+		if !r.hasPort[o] {
+			continue
+		}
+		var req bitvec.Vec
+		for p := 0; p < P; p++ {
+			w := sa1win[p]
+			if w < 0 {
+				continue
+			}
+			if r.vcRouteR(cycle, p, w) == o {
+				req = req.Set(p)
+			}
+		}
+		req = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.SA2Req, o, -1, uint32(req))) & bitvec.Mask(P)
+		gnt := r.sa2[o].Arbitrate(req)
+		gnt = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.SA2Gnt, o, -1, uint32(gnt))) & bitvec.Mask(P)
+		r.sig.SA2[o] = ReqGnt{Req: req, Gnt: gnt}
+		if gnt.IsZero() {
+			continue
+		}
+		r.stCol[o] = gnt
+		for _, p := range gnt.Bits() {
+			if !r.hasPort[p] {
+				continue
+			}
+			r.readEn[p] = true
+			r.stOut[p] = o
+			vcSel := r.in[p].sa1WinnerReg
+			spec := sa1win[p] == vcSel && sa1spec[p]
+			r.stSpec[p] = spec
+			ovc := r.vcOutVCR(cycle, p, vcSel)
+			latch := SALatch{OutPort: o, InPort: p, InVC: vcSel, OutVC: ovc, Speculative: spec}
+			if ovc < r.cfg.VCs {
+				latch.CreditsBefore = r.creditR(cycle, o, ovc)
+				if !spec {
+					// Reserve the downstream slot now; the datapath
+					// follows next cycle.
+					s := &r.out[o].vcs[ovc]
+					s.credits = (s.credits - 1) & r.creditMask()
+				}
+			}
+			r.sig.SALatches = append(r.sig.SALatches, latch)
+		}
+	}
+}
+
+// phaseVA runs the separable virtual-channel allocation: VA1 picks one
+// routed VC per input port, VA2 picks one input port per output port
+// and assigns it a free downstream VC of the packet's message class.
+func (r *Router) phaseVA(cycle int64) {
+	var va1win [P]int
+	for p := 0; p < P; p++ {
+		va1win[p] = -1
+		if !r.hasPort[p] {
+			continue
+		}
+		var req bitvec.Vec
+		for v := 0; v < r.cfg.VCs; v++ {
+			if r.vcStateR(cycle, p, v) == VCWaitingVA {
+				req = req.Set(v)
+			}
+		}
+		req = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.VA1Req, p, -1, uint32(req))) & bitvec.Mask(r.cfg.VCs)
+		gnt := r.va1[p].Arbitrate(req)
+		gnt = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.VA1Gnt, p, -1, uint32(gnt))) & bitvec.Mask(r.cfg.VCs)
+		r.sig.VA1[p] = ReqGnt{Req: req, Gnt: gnt}
+		if w := gnt.First(); w >= 0 {
+			va1win[p] = w
+			r.va1WinnerReg[p] = w
+		}
+	}
+	for o := 0; o < P; o++ {
+		if !r.hasPort[o] {
+			continue
+		}
+		var req bitvec.Vec
+		for p := 0; p < P; p++ {
+			w := va1win[p]
+			if w < 0 {
+				continue
+			}
+			if r.vcRouteR(cycle, p, w) != o {
+				continue
+			}
+			if r.freeOutVC(o, r.classOf(p, w)) < 0 {
+				// No free downstream VC in the packet's class: the input
+				// VC does not bid this cycle.
+				continue
+			}
+			req = req.Set(p)
+		}
+		req = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.VA2Req, o, -1, uint32(req))) & bitvec.Mask(P)
+		gnt := r.va2[o].Arbitrate(req)
+		gnt = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.VA2Gnt, o, -1, uint32(gnt))) & bitvec.Mask(P)
+		r.sig.VA2[o] = ReqGnt{Req: req, Gnt: gnt}
+		for _, p := range gnt.Bits() {
+			if !r.hasPort[p] {
+				continue
+			}
+			w := r.va1WinnerReg[p] // stale when the grant was faulted in
+			chosen := r.freeOutVC(o, r.classOf(p, w))
+			code := rawInvalidDir // garbage encoding when no VC was free
+			if chosen >= 0 {
+				code = chosen
+			}
+			code = r.plane.Word(cycle, r.id, fault.VA2OutVC, o, -1, code) & (MaxVCs - 1)
+			assign := VAAssign{OutPort: o, InPort: p, InVC: w, OutVC: code}
+			if code < r.cfg.VCs {
+				tgt := &r.out[o].vcs[code]
+				assign.TargetFree = tgt.free
+				assign.TargetCredits = r.creditR(cycle, o, code)
+				tgt.free = false
+				tgt.tailSent = false
+			}
+			vc := &r.in[p].vcs[w]
+			vc.outVC = code
+			vc.state = VCActive
+			r.sig.VAAssigns = append(r.sig.VAAssigns, assign)
+		}
+	}
+}
+
+// classOf returns the message class of the packet resident in (p, v):
+// the head flit's class when one is buffered, else the class owning the
+// VC partition.
+func (r *Router) classOf(p, v int) int {
+	if v < 0 || v >= r.cfg.VCs {
+		return 0
+	}
+	if h := r.in[p].vcs[v].head(); h != nil {
+		cl := h.Class
+		if cl >= 0 && cl < r.cfg.Classes {
+			return cl
+		}
+	}
+	return r.cfg.ClassOfVC(v)
+}
+
+// freeOutVC returns the lowest free output VC of port o within class,
+// or -1.
+func (r *Router) freeOutVC(o, class int) int {
+	lo, hi := r.cfg.VCRange(class)
+	for v := lo; v < hi; v++ {
+		if r.out[o].vcs[v].free {
+			return v
+		}
+	}
+	return -1
+}
+
+// phaseRC runs routing computation. Each input port has per-VC RC
+// logic, so every VC in the Routing state is served this cycle; under
+// healthy operation at most one VC per port can be in that state
+// (invariance 31 rests on exactly this).
+func (r *Router) phaseRC(cycle int64) {
+	for p := 0; p < P; p++ {
+		if !r.hasPort[p] {
+			continue
+		}
+		for v := 0; v < r.cfg.VCs; v++ {
+			if r.vcStateR(cycle, p, v) != VCRouting {
+				continue
+			}
+			r.execRC(cycle, p, v)
+		}
+	}
+}
+
+func (r *Router) execRC(cycle int64, p, v int) {
+	vc := &r.in[p].vcs[v]
+	var dx, dy int
+	var kind flit.Kind
+	head := vc.head()
+	hasHead := head != nil
+	switch {
+	case head != nil:
+		dx, dy, kind = head.DestX, head.DestY, head.Kind
+	case vc.lastRead != nil:
+		// RC on an empty buffer consumes whatever the stale storage
+		// holds (an "empty" slot is not blank).
+		dx, dy, kind = vc.lastRead.DestX, vc.lastRead.DestY, vc.lastRead.Kind
+	}
+	trueDX, trueDY := dx, dy
+	xMask := 1<<fault.BitsFor(r.cfg.Mesh.W-1) - 1
+	yMask := 1<<fault.BitsFor(r.cfg.Mesh.H-1) - 1
+	dx = r.plane.Word(cycle, r.id, fault.RCInDestX, p, -1, dx) & xMask
+	dy = r.plane.Word(cycle, r.id, fault.RCInDestY, p, -1, dy) & yMask
+	cands := r.cfg.Alg.Candidates(r.cfg.Mesh, r.id, dx, dy, topology.Direction(p))
+	dir := r.pickCandidate(cands)
+	code := int(dir) & (1<<DirWidth - 1)
+	code = r.plane.Word(cycle, r.id, fault.RCOutDir, p, -1, code) & (1<<DirWidth - 1)
+	vc.route = code
+	vc.state = VCWaitingVA
+	r.sig.RCExecs = append(r.sig.RCExecs, RCExec{
+		Port: p, VC: v, HasHead: hasHead, HeadKind: kind,
+		DestX: dx, DestY: dy, TrueDestX: trueDX, TrueDestY: trueDY, OutDir: code,
+	})
+	r.sig.RCDone[p] = r.sig.RCDone[p].Set(v)
+}
+
+// pickCandidate selects among the algorithm's permitted directions:
+// deterministic algorithms offer one; adaptive algorithms are broken
+// toward the output port with the most free VCs (a standard local
+// congestion heuristic).
+func (r *Router) pickCandidate(cands []topology.Direction) topology.Direction {
+	if len(cands) == 0 {
+		return topology.Invalid
+	}
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	best := cands[0]
+	bestFree := -1
+	for _, d := range cands {
+		o := int(d)
+		if o < 0 || o >= P || !r.hasPort[o] {
+			continue
+		}
+		free := 0
+		for v := range r.out[o].vcs {
+			if r.out[o].vcs[v].free {
+				free++
+			}
+		}
+		if free > bestFree {
+			bestFree = free
+			best = d
+		}
+	}
+	return best
+}

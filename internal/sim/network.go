@@ -1,0 +1,382 @@
+// Package sim assembles routers, links and network interfaces into a
+// cycle-accurate mesh NoC and drives the simulation loop. It plays the
+// role GARNET plays in the paper: the substrate the NoCAlert checkers,
+// the fault-injection campaign and the ForEVeR baseline all plug into.
+package sim
+
+import (
+	"fmt"
+
+	"nocalert/internal/fault"
+	"nocalert/internal/flit"
+	"nocalert/internal/rng"
+	"nocalert/internal/router"
+	"nocalert/internal/topology"
+	"nocalert/internal/traffic"
+)
+
+// Config describes a simulation: the router micro-architecture, the
+// traffic workload and the random seed.
+type Config struct {
+	// Router is the per-router micro-architecture.
+	Router router.Config
+	// Pattern is the traffic pattern; nil means uniform random.
+	Pattern traffic.Pattern
+	// InjectionRate is the offered load in flits per node per cycle.
+	InjectionRate float64
+	// ClassWeights optionally biases packet generation among message
+	// classes; nil means equal weights.
+	ClassWeights []float64
+	// Seed seeds all per-node generators.
+	Seed uint64
+}
+
+// Ejection is one flit delivered to a node's NI, the unit of the
+// golden-reference log.
+type Ejection struct {
+	Node  int
+	Cycle int64
+	Flit  *flit.Flit
+}
+
+// Network is a mesh NoC under simulation.
+type Network struct {
+	cfg  Config
+	rcfg *router.Config
+	mesh topology.Mesh
+
+	routers []*router.Router
+	nis     []*NI
+
+	monitors []Monitor
+	plane    *fault.Plane
+
+	cycle     int64
+	nextPkt   uint64
+	injecting bool
+	pktProb   float64
+
+	flitsInjected int64
+	flitsEjected  int64
+	pktsOffered   int64
+
+	ejections []Ejection
+
+	// scratch reused across cycles
+	ejectScratch []*flit.Flit
+}
+
+// New builds a network from the configuration. The fault plane may be
+// nil for fault-free operation.
+func New(cfg Config, plane *fault.Plane) (*Network, error) {
+	if err := cfg.Router.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InjectionRate < 0 {
+		return nil, fmt.Errorf("sim: negative injection rate %g", cfg.InjectionRate)
+	}
+	if cfg.Pattern == nil {
+		cfg.Pattern = traffic.Uniform{}
+	}
+	n := &Network{cfg: cfg, mesh: cfg.Router.Mesh, plane: plane, injecting: true, nextPkt: 1}
+	rcfg := cfg.Router
+	n.rcfg = &rcfg
+	nodes := n.mesh.Nodes()
+	n.routers = make([]*router.Router, nodes)
+	n.nis = make([]*NI, nodes)
+	for i := 0; i < nodes; i++ {
+		n.routers[i] = router.New(i, n.rcfg, plane)
+		n.nis[i] = newNI(i, n.rcfg, cfg.Seed)
+	}
+	n.pktProb = cfg.InjectionRate / n.meanPacketLen()
+	return n, nil
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(cfg Config, plane *fault.Plane) *Network {
+	n, err := New(cfg, plane)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (n *Network) meanPacketLen() float64 {
+	w := n.cfg.ClassWeights
+	total, weight := 0.0, 0.0
+	for c := 0; c < n.rcfg.Classes; c++ {
+		wc := 1.0
+		if c < len(w) {
+			wc = w[c]
+		}
+		total += wc * float64(n.rcfg.PacketLen(c))
+		weight += wc
+	}
+	if weight == 0 {
+		return float64(n.rcfg.PacketLen(0))
+	}
+	return total / weight
+}
+
+// Mesh returns the topology.
+func (n *Network) Mesh() topology.Mesh { return n.mesh }
+
+// RouterConfig returns the shared router configuration.
+func (n *Network) RouterConfig() *router.Config { return n.rcfg }
+
+// Router returns the router at node id.
+func (n *Network) Router(id int) *router.Router { return n.routers[id] }
+
+// NI returns the network interface at node id.
+func (n *Network) NI(id int) *NI { return n.nis[id] }
+
+// Cycle returns the next cycle to be simulated (0 before any Step).
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// Ejections returns the full ejection log since cycle 0.
+func (n *Network) Ejections() []Ejection { return n.ejections }
+
+// FlitsInjected returns the number of flits that have entered the
+// network fabric (NI → router).
+func (n *Network) FlitsInjected() int64 { return n.flitsInjected }
+
+// FlitsEjected returns the number of flits delivered to NIs.
+func (n *Network) FlitsEjected() int64 { return n.flitsEjected }
+
+// InFlight estimates the flits inside the fabric. Fault-induced drops
+// and duplications bias it, which is why campaign runs use a fixed
+// horizon instead.
+func (n *Network) InFlight() int64 { return n.flitsInjected - n.flitsEjected }
+
+// PacketsOffered returns the number of packets generated so far.
+func (n *Network) PacketsOffered() int64 { return n.pktsOffered }
+
+// AttachMonitor registers a monitor for all subsequent cycles.
+func (n *Network) AttachMonitor(m Monitor) { n.monitors = append(n.monitors, m) }
+
+// Monitors returns the attached monitors.
+func (n *Network) Monitors() []Monitor { return n.monitors }
+
+// StopInjection stops generating new packets (drain mode). Packets
+// already queued at NIs keep streaming.
+func (n *Network) StopInjection() { n.injecting = false }
+
+// ResumeInjection re-enables packet generation.
+func (n *Network) ResumeInjection() { n.injecting = true }
+
+// InjectPacket queues one directed packet at src's NI, bypassing the
+// random traffic process (used for targeted tests and for recovery
+// retransmissions). It returns the packet id. The packet flows through
+// the normal injection path and is announced to monitors like any
+// other.
+func (n *Network) InjectPacket(src, dest, class int) uint64 {
+	if src < 0 || src >= len(n.nis) || dest < 0 || dest >= len(n.nis) {
+		panic(fmt.Sprintf("sim: InjectPacket with invalid nodes %d->%d", src, dest))
+	}
+	if class < 0 || class >= n.rcfg.Classes {
+		class = 0
+	}
+	// The payload is derived from the packet id rather than drawn from
+	// the NI's traffic generator: directed injections must not perturb
+	// the background traffic stream (campaign forks and A/B runs rely
+	// on replay determinism).
+	p := &flit.Packet{
+		ID:         n.nextPkt,
+		Src:        src,
+		Dest:       dest,
+		Class:      class,
+		Length:     n.rcfg.PacketLen(class),
+		Payload:    n.nextPkt * 0x9e3779b97f4a7c15,
+		InjectedAt: n.cycle,
+	}
+	n.nextPkt++
+	n.pktsOffered++
+	n.nis[src].enqueue(p)
+	for _, m := range n.monitors {
+		m.PacketInjected(n.cycle, src, p)
+	}
+	return p.ID
+}
+
+// Step simulates one cycle.
+func (n *Network) Step() {
+	t := n.cycle
+
+	// Packet generation (per-node Bernoulli process).
+	if n.injecting && n.pktProb > 0 {
+		for id, ni := range n.nis {
+			if !ni.gen.Bernoulli(n.pktProb) {
+				continue
+			}
+			class := n.pickClass(ni.gen)
+			p := &flit.Packet{
+				ID:         n.nextPkt,
+				Src:        id,
+				Dest:       n.cfg.Pattern.Dest(n.mesh, id, ni.gen),
+				Class:      class,
+				Length:     n.rcfg.PacketLen(class),
+				Payload:    ni.gen.Uint64(),
+				InjectedAt: t,
+			}
+			n.nextPkt++
+			n.pktsOffered++
+			ni.enqueue(p)
+			for _, m := range n.monitors {
+				m.PacketInjected(t, id, p)
+			}
+		}
+	}
+
+	// Router pipelines.
+	for _, r := range n.routers {
+		r.BeginCycle(t)
+		r.Evaluate(t)
+	}
+
+	// Link traversal: distribute departures and credits for cycle t+1.
+	for id, r := range n.routers {
+		for _, d := range r.Signals().Departures {
+			dir := topology.Direction(d.OutPort)
+			if dir == topology.Local {
+				n.nis[id].flitArrived(d.Flit, t+1)
+				continue
+			}
+			if nb, ok := n.mesh.Neighbor(id, dir); ok {
+				n.routers[nb].StageArrival(dir.Opposite(), d.Flit)
+			}
+			// A departure through a port the mesh does not have (a
+			// fault-driven misroute at an edge router) falls off the
+			// fabric: the flit is lost.
+		}
+		for _, c := range r.Credits() {
+			if c.Port == topology.Local {
+				n.nis[id].creditArrived(c.VC, t+1)
+				continue
+			}
+			if nb, ok := n.mesh.Neighbor(id, c.Port); ok {
+				n.routers[nb].StageCredit(c.Port.Opposite(), c.VC)
+			}
+		}
+	}
+
+	// Monitors observe the completed cycle.
+	for _, m := range n.monitors {
+		for _, r := range n.routers {
+			m.RouterCycle(r, r.Signals())
+		}
+	}
+
+	// Network interfaces.
+	for id, ni := range n.nis {
+		n.ejectScratch = n.ejectScratch[:0]
+		sent := ni.tickInject(t, n.routers[id], &n.ejectScratch)
+		if sent {
+			n.flitsInjected++
+		}
+		for _, f := range n.ejectScratch {
+			n.flitsEjected++
+			n.ejections = append(n.ejections, Ejection{Node: id, Cycle: t, Flit: f})
+			for _, m := range n.monitors {
+				m.FlitEjected(t, id, f)
+			}
+		}
+	}
+
+	for _, m := range n.monitors {
+		m.EndCycle(t)
+	}
+	n.cycle = t + 1
+}
+
+func (n *Network) pickClass(g *rng.PCG) int {
+	if n.rcfg.Classes == 1 {
+		return 0
+	}
+	w := n.cfg.ClassWeights
+	if len(w) == 0 {
+		return g.Intn(n.rcfg.Classes)
+	}
+	total := 0.0
+	for c := 0; c < n.rcfg.Classes; c++ {
+		if c < len(w) {
+			total += w[c]
+		}
+	}
+	if total <= 0 {
+		return g.Intn(n.rcfg.Classes)
+	}
+	x := g.Float64() * total
+	for c := 0; c < n.rcfg.Classes; c++ {
+		if c < len(w) {
+			x -= w[c]
+		}
+		if x < 0 {
+			return c
+		}
+	}
+	return n.rcfg.Classes - 1
+}
+
+// Run simulates the given number of cycles.
+func (n *Network) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// Drain stops injection and runs until the fabric is empty or deadline
+// cycles have elapsed, returning true if the network drained.
+func (n *Network) Drain(deadline int64) bool {
+	n.StopInjection()
+	end := n.cycle + deadline
+	for n.cycle < end {
+		if n.InFlight() <= 0 && n.allNIsIdle() {
+			return true
+		}
+		n.Step()
+	}
+	return n.InFlight() <= 0 && n.allNIsIdle()
+}
+
+func (n *Network) allNIsIdle() bool {
+	for _, ni := range n.nis {
+		if len(ni.queue) > 0 || len(ni.cur) > 0 || len(ni.inbox) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the network for a forked continuation under the
+// given fault plane (nil for a fault-free fork). Attached monitors are
+// carried over only when they implement CloneableMonitor.
+func (n *Network) Clone(plane *fault.Plane) *Network {
+	c := &Network{
+		cfg:           n.cfg,
+		rcfg:          n.rcfg,
+		mesh:          n.mesh,
+		plane:         plane,
+		cycle:         n.cycle,
+		nextPkt:       n.nextPkt,
+		injecting:     n.injecting,
+		pktProb:       n.pktProb,
+		flitsInjected: n.flitsInjected,
+		flitsEjected:  n.flitsEjected,
+		pktsOffered:   n.pktsOffered,
+	}
+	c.routers = make([]*router.Router, len(n.routers))
+	for i, r := range n.routers {
+		c.routers[i] = r.Clone(plane)
+	}
+	c.nis = make([]*NI, len(n.nis))
+	for i, ni := range n.nis {
+		c.nis[i] = ni.clone()
+	}
+	c.ejections = append([]Ejection(nil), n.ejections...)
+	for _, m := range n.monitors {
+		if cm, ok := m.(CloneableMonitor); ok {
+			c.monitors = append(c.monitors, cm.CloneMonitor())
+		}
+	}
+	return c
+}

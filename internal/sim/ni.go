@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"nocalert/internal/flit"
+	"nocalert/internal/rng"
+	"nocalert/internal/router"
+	"nocalert/internal/topology"
+)
+
+// niOutVC mirrors the credit bookkeeping an upstream router keeps for a
+// downstream input port: the NI is exactly such an upstream for its
+// router's local input port.
+type niOutVC struct {
+	free     bool
+	credits  int
+	tailSent bool
+}
+
+// niArrival is a flit in flight on the router→NI ejection link.
+type niArrival struct {
+	f     *flit.Flit
+	cycle int64 // cycle the NI may process it
+}
+
+// niCredit is a credit in flight on the router→NI credit link.
+type niCredit struct {
+	vc    int
+	cycle int64
+}
+
+// NI is a node's network interface: it packetizes traffic into flits,
+// streams them into the router's local input port under credit flow
+// control, and ejects arriving flits.
+type NI struct {
+	node int
+	cfg  *router.Config
+	gen  *rng.PCG
+
+	// Injection side.
+	queue  []*flit.Packet // packets waiting for a VC
+	cur    []*flit.Flit   // flits of the packet currently streaming
+	curVC  int
+	outVCs []niOutVC
+	// Ejection side.
+	inbox   []niArrival
+	credits []niCredit
+}
+
+func newNI(node int, cfg *router.Config, seed uint64) *NI {
+	ni := &NI{node: node, cfg: cfg, gen: rng.New(seed, uint64(node)*2+1), curVC: -1}
+	ni.outVCs = make([]niOutVC, cfg.VCs)
+	for v := range ni.outVCs {
+		ni.outVCs[v] = niOutVC{free: true, credits: cfg.BufDepth}
+	}
+	return ni
+}
+
+// QueueLen returns the number of packets waiting at the source NI.
+func (ni *NI) QueueLen() int { return len(ni.queue) }
+
+// Streaming reports whether a packet is mid-injection.
+func (ni *NI) Streaming() bool { return len(ni.cur) > 0 }
+
+// enqueue accepts a packet for injection.
+func (ni *NI) enqueue(p *flit.Packet) { ni.queue = append(ni.queue, p) }
+
+// creditArrived registers a credit returned by the router for local
+// input VC vc, usable from the given cycle.
+func (ni *NI) creditArrived(vc int, cycle int64) {
+	ni.credits = append(ni.credits, niCredit{vc: vc, cycle: cycle})
+}
+
+// flitArrived registers a flit on the ejection link, visible to the NI
+// from the given cycle.
+func (ni *NI) flitArrived(f *flit.Flit, cycle int64) {
+	ni.inbox = append(ni.inbox, niArrival{f: f, cycle: cycle})
+}
+
+// tickInject runs one NI cycle: absorb matured credits, eject matured
+// arrivals (returning ejection-buffer credits to the router's local
+// output port), and push at most one flit into the router. Ejected
+// flits are appended to *ejected; the return value reports whether a
+// flit was injected into the router this cycle.
+func (ni *NI) tickInject(cycle int64, r *router.Router, ejected *[]*flit.Flit) bool {
+	// Credits from the router's local input port.
+	kept := ni.credits[:0]
+	for _, c := range ni.credits {
+		if c.cycle > cycle {
+			kept = append(kept, c)
+			continue
+		}
+		if c.vc < 0 || c.vc >= len(ni.outVCs) {
+			continue
+		}
+		ovc := &ni.outVCs[c.vc]
+		if ovc.credits < ni.cfg.BufDepth {
+			ovc.credits++
+		}
+		if ovc.tailSent && !ovc.free && ovc.credits >= ni.cfg.BufDepth {
+			ovc.free = true
+			ovc.tailSent = false
+		}
+	}
+	ni.credits = kept
+
+	// Ejection: the NI drains its receive buffers every cycle, so each
+	// arriving flit is consumed immediately and its buffer slot credit
+	// returns to the router's local output port one cycle later.
+	keptIn := ni.inbox[:0]
+	for _, a := range ni.inbox {
+		if a.cycle > cycle {
+			keptIn = append(keptIn, a)
+			continue
+		}
+		*ejected = append(*ejected, a.f)
+		if a.f.VC >= 0 && a.f.VC < ni.cfg.VCs {
+			r.StageCredit(topology.Local, a.f.VC)
+		}
+	}
+	ni.inbox = keptIn
+
+	// Injection: start a new packet if idle, then stream one flit.
+	if len(ni.cur) == 0 && len(ni.queue) > 0 {
+		p := ni.queue[0]
+		vc := ni.pickFreeVC(p.Class)
+		if vc >= 0 {
+			ni.queue = ni.queue[1:]
+			dx, dy := ni.cfg.Mesh.Coords(p.Dest)
+			ni.cur = p.Flits(dx, dy)
+			ni.curVC = vc
+			ovc := &ni.outVCs[vc]
+			ovc.free = false
+			ovc.tailSent = false
+		}
+	}
+	if len(ni.cur) > 0 {
+		ovc := &ni.outVCs[ni.curVC]
+		if ovc.credits > 0 {
+			f := ni.cur[0]
+			ni.cur = ni.cur[1:]
+			f.VC = ni.curVC
+			ovc.credits--
+			if f.Kind.IsTail() {
+				ovc.tailSent = true
+			}
+			r.StageArrival(topology.Local, f)
+			return true
+		}
+	}
+	return false
+}
+
+// pickFreeVC returns the lowest free local-input VC in the class, or -1.
+func (ni *NI) pickFreeVC(class int) int {
+	lo, hi := ni.cfg.VCRange(class)
+	for v := lo; v < hi; v++ {
+		if ni.outVCs[v].free {
+			return v
+		}
+	}
+	return -1
+}
+
+// clone returns a deep copy of the NI.
+func (ni *NI) clone() *NI {
+	c := &NI{
+		node:  ni.node,
+		cfg:   ni.cfg,
+		gen:   ni.gen.Clone(),
+		curVC: ni.curVC,
+	}
+	c.queue = make([]*flit.Packet, len(ni.queue))
+	for i, p := range ni.queue {
+		cp := *p
+		c.queue[i] = &cp
+	}
+	c.cur = make([]*flit.Flit, len(ni.cur))
+	for i, f := range ni.cur {
+		c.cur[i] = f.Clone()
+	}
+	c.outVCs = append([]niOutVC(nil), ni.outVCs...)
+	c.inbox = make([]niArrival, len(ni.inbox))
+	for i, a := range ni.inbox {
+		c.inbox[i] = niArrival{f: a.f.Clone(), cycle: a.cycle}
+	}
+	c.credits = append([]niCredit(nil), ni.credits...)
+	return c
+}

@@ -1,0 +1,194 @@
+// Package traffic provides the synthetic traffic patterns used to
+// stress the network. The paper's evaluation uses uniform random
+// traffic at several injection rates; the classic permutation patterns
+// (transpose, bit-complement, bit-reverse, shuffle), a hotspot pattern
+// and nearest-neighbor traffic are provided for the latency/throughput
+// tooling and the traffic-sensitivity experiments.
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"nocalert/internal/rng"
+	"nocalert/internal/topology"
+)
+
+// Pattern maps a source node to a destination node for each generated
+// packet. Implementations must be deterministic given the generator
+// state so that campaign runs replay exactly.
+type Pattern interface {
+	// Name identifies the pattern in configs and reports.
+	Name() string
+	// Dest returns the destination for a packet injected at src. The
+	// returned node may not equal src (self-traffic never enters the
+	// network).
+	Dest(m topology.Mesh, src int, g *rng.PCG) int
+}
+
+// New returns the pattern registered under name.
+func New(name string) (Pattern, error) {
+	switch name {
+	case "uniform", "":
+		return Uniform{}, nil
+	case "transpose":
+		return Transpose{}, nil
+	case "bitcomplement", "complement":
+		return BitComplement{}, nil
+	case "bitreverse", "reverse":
+		return BitReverse{}, nil
+	case "shuffle":
+		return Shuffle{}, nil
+	case "neighbor":
+		return Neighbor{}, nil
+	case "hotspot":
+		return NewHotspot(nil, 0.3), nil
+	}
+	return nil, fmt.Errorf("traffic: unknown pattern %q", name)
+}
+
+// Uniform sends each packet to a destination chosen uniformly among all
+// other nodes — the paper's stimulus.
+type Uniform struct{}
+
+// Name implements Pattern.
+func (Uniform) Name() string { return "uniform" }
+
+// Dest implements Pattern.
+func (Uniform) Dest(m topology.Mesh, src int, g *rng.PCG) int {
+	n := m.Nodes()
+	if n < 2 {
+		return src
+	}
+	d := g.Intn(n - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Transpose sends (x, y) to (y, x); nodes on the diagonal fall back to
+// uniform traffic.
+type Transpose struct{}
+
+// Name implements Pattern.
+func (Transpose) Name() string { return "transpose" }
+
+// Dest implements Pattern.
+func (Transpose) Dest(m topology.Mesh, src int, g *rng.PCG) int {
+	x, y := m.Coords(src)
+	if x == y || y >= m.W || x >= m.H {
+		return Uniform{}.Dest(m, src, g)
+	}
+	return m.NodeAt(y, x)
+}
+
+// BitComplement sends node i to node (n-1)-i.
+type BitComplement struct{}
+
+// Name implements Pattern.
+func (BitComplement) Name() string { return "bitcomplement" }
+
+// Dest implements Pattern.
+func (BitComplement) Dest(m topology.Mesh, src int, g *rng.PCG) int {
+	d := m.Nodes() - 1 - src
+	if d == src {
+		return Uniform{}.Dest(m, src, g)
+	}
+	return d
+}
+
+// BitReverse reverses the bits of the node index (meaningful for
+// power-of-two node counts; otherwise it falls back to uniform).
+type BitReverse struct{}
+
+// Name implements Pattern.
+func (BitReverse) Name() string { return "bitreverse" }
+
+// Dest implements Pattern.
+func (BitReverse) Dest(m topology.Mesh, src int, g *rng.PCG) int {
+	n := m.Nodes()
+	if n&(n-1) != 0 {
+		return Uniform{}.Dest(m, src, g)
+	}
+	w := bits.Len(uint(n)) - 1
+	d := int(bits.Reverse32(uint32(src)) >> (32 - w))
+	if d == src || d >= n {
+		return Uniform{}.Dest(m, src, g)
+	}
+	return d
+}
+
+// Shuffle rotates the node index left by one bit (perfect shuffle).
+type Shuffle struct{}
+
+// Name implements Pattern.
+func (Shuffle) Name() string { return "shuffle" }
+
+// Dest implements Pattern.
+func (Shuffle) Dest(m topology.Mesh, src int, g *rng.PCG) int {
+	n := m.Nodes()
+	if n&(n-1) != 0 {
+		return Uniform{}.Dest(m, src, g)
+	}
+	w := bits.Len(uint(n)) - 1
+	d := (src<<1 | src>>(w-1)) & (n - 1)
+	if d == src {
+		return Uniform{}.Dest(m, src, g)
+	}
+	return d
+}
+
+// Neighbor sends each packet one hop east (wrapping at the edge to the
+// row's west end), a minimal-distance stress pattern.
+type Neighbor struct{}
+
+// Name implements Pattern.
+func (Neighbor) Name() string { return "neighbor" }
+
+// Dest implements Pattern.
+func (Neighbor) Dest(m topology.Mesh, src int, g *rng.PCG) int {
+	x, y := m.Coords(src)
+	x++
+	if x >= m.W {
+		x = 0
+	}
+	d := m.NodeAt(x, y)
+	if d == src {
+		return Uniform{}.Dest(m, src, g)
+	}
+	return d
+}
+
+// Hotspot directs a fraction of traffic to designated hotspot nodes and
+// the rest uniformly.
+type Hotspot struct {
+	// Nodes are the hotspot destinations; when empty, the mesh center
+	// is used.
+	Nodes []int
+	// Frac is the probability a packet targets a hotspot.
+	Frac float64
+}
+
+// NewHotspot returns a hotspot pattern over the given nodes.
+func NewHotspot(nodes []int, frac float64) Hotspot {
+	return Hotspot{Nodes: nodes, Frac: frac}
+}
+
+// Name implements Pattern.
+func (Hotspot) Name() string { return "hotspot" }
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(m topology.Mesh, src int, g *rng.PCG) int {
+	spots := h.Nodes
+	if len(spots) == 0 {
+		spots = []int{m.NodeAt(m.W/2, m.H/2)}
+	}
+	if g.Bernoulli(h.Frac) {
+		d := spots[g.Intn(len(spots))]
+		if d != src {
+			return d
+		}
+	}
+	return Uniform{}.Dest(m, src, g)
+}
