@@ -1,0 +1,30 @@
+# Convenience targets for the checks CI (and pre-commit hands) should
+# run. `make ci` is the full gate; the individual targets exist so a
+# quick edit-compile loop doesn't have to pay for the race campaigns.
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The campaign and simulator packages are the concurrent ones (worker
+# pools forking clones); run them under the race detector. The campaign
+# package takes several minutes race-enabled.
+race:
+	$(GO) test -race ./internal/campaign ./internal/sim
+
+# Campaign throughput baseline (faults/sec, ns/fault, allocs/fault).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkCampaignRun -benchtime 3x .
+
+ci: vet build test race

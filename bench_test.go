@@ -18,6 +18,7 @@
 package nocalert_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -210,6 +211,46 @@ func BenchmarkAblationForeverEpoch(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(falsePositives), "epochs_with_faultfree_FP")
+}
+
+// BenchmarkCampaignRun measures end-to-end campaign throughput on the
+// 4×4/160-fault bench campaign: one full Run (golden warmup + one
+// forked run per fault) per iteration. The custom metrics are the
+// repo's campaign-performance baseline (EXPERIMENTS.md, "Campaign
+// performance"): faults/sec and ns/fault are wall-clock throughput,
+// allocs/fault is the per-fork allocation bill the clone arenas keep
+// flat.
+func BenchmarkCampaignRun(b *testing.B) {
+	mesh := nocalert.NewMesh(4, 4)
+	rc := nocalert.DefaultRouterConfig(mesh)
+	params := nocalert.FaultParamsFor(&rc)
+	faults := nocalert.SampleFaults(params, benchFaults, 5, benchInject)
+	opts := nocalert.CampaignOptions{
+		Sim:           nocalert.SimConfig{Router: rc, InjectionRate: 0.12, Seed: 3},
+		InjectCycle:   benchInject,
+		PostInjectRun: 400,
+		DrainDeadline: 5000,
+		Forever:       nocalert.ForeverOptions{Epoch: 400, HopLatency: 1},
+		Faults:        faults,
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nocalert.RunCampaign(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	total := float64(b.N * len(faults))
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		b.ReportMetric(total/sec, "faults/sec")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/total, "ns/fault")
+	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/total, "allocs/fault")
 }
 
 // --- micro-benchmarks of the substrate ---

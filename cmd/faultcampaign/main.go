@@ -21,11 +21,16 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"nocalert"
@@ -48,8 +53,16 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		figs     = flag.String("fig", "all", "figures to print: comma list of 6,7,8,9,obs3,obs5 or 'all'")
 		jsonPath = flag.String("json", "", "also export the aggregated results as JSON to this file")
+		benchOut = flag.String("benchjson", "", "write a campaign throughput record (faults/sec) as JSON to this file")
+		noFast   = flag.Bool("nofastpath", false, "disable the early-exit fast path for non-firing faults")
+		progress = flag.Bool("progress", true, "print campaign progress to stderr")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the campaign cooperatively: in-flight runs
+	// finish, then RunCampaign returns context.Canceled.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	mesh, err := nocalert.ParseMesh(*meshSpec)
 	if err != nil {
@@ -70,21 +83,46 @@ func main() {
 	fmt.Printf("fault population: %d single-bit locations (%d sites); injecting %d at cycle %d\n",
 		totalBits(params), len(params.EnumerateSites()), len(faults), *inject)
 
+	var report func(done, total int)
+	if *progress {
+		lastPct := -1
+		report = func(done, total int) {
+			pct := done * 100 / total
+			if pct/5 > lastPct/5 || done == total {
+				lastPct = pct
+				fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d runs (%d%%)", done, total, pct)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
 	start := time.Now()
 	rep, err := nocalert.RunCampaign(nocalert.CampaignOptions{
-		Sim:           simCfg,
-		InjectCycle:   *inject,
-		PostInjectRun: *post,
-		DrainDeadline: *drain,
-		Forever:       nocalert.ForeverOptions{Epoch: *epoch, HopLatency: 1},
-		Faults:        faults,
-		Workers:       *workers,
+		Sim:             simCfg,
+		InjectCycle:     *inject,
+		PostInjectRun:   *post,
+		DrainDeadline:   *drain,
+		Forever:         nocalert.ForeverOptions{Epoch: *epoch, HopLatency: 1},
+		Faults:          faults,
+		Workers:         *workers,
+		DisableFastPath: *noFast,
+		Progress:        report,
+		Context:         ctx,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("campaign: %d runs in %v; %d faults fired, %d caused network-correctness violations\n\n",
-		len(rep.Results), time.Since(start).Round(time.Millisecond), rep.FiredCount(), rep.MaliciousCount())
+	wall := time.Since(start)
+	fmt.Printf("campaign: %d runs in %v; %d faults fired, %d caused network-correctness violations, %d fast-path exits\n\n",
+		len(rep.Results), wall.Round(time.Millisecond), rep.FiredCount(), rep.MaliciousCount(), rep.FastPathHits)
+
+	if *benchOut != "" {
+		if err := writeBenchRecord(*benchOut, *meshSpec, rep, *workers, wall); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("throughput record written to %s\n\n", *benchOut)
+	}
 
 	if all || want["6"] {
 		rep.WriteFig6(os.Stdout)
@@ -207,6 +245,48 @@ func obs3(simCfg nocalert.SimConfig, params nocalert.FaultParams, inject, post, 
 	}
 	t.Render(os.Stdout)
 	fmt.Println()
+}
+
+// benchRecord is the throughput measurement -benchjson emits, so perf
+// runs can be tracked across revisions.
+type benchRecord struct {
+	Name         string  `json:"name"`
+	Mesh         string  `json:"mesh"`
+	Faults       int     `json:"faults"`
+	FastPathHits int     `json:"fast_path_hits"`
+	Workers      int     `json:"workers"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	FaultsPerSec float64 `json:"faults_per_sec"`
+}
+
+func writeBenchRecord(path, mesh string, rep *nocalert.CampaignReport, workers int, wall time.Duration) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r := benchRecord{
+		Name:         "campaign",
+		Mesh:         mesh,
+		Faults:       len(rep.Results),
+		FastPathHits: rep.FastPathHits,
+		Workers:      workers,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		WallSeconds:  wall.Seconds(),
+	}
+	if s := wall.Seconds(); s > 0 {
+		r.FaultsPerSec = float64(r.Faults) / s
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func totalBits(p nocalert.FaultParams) int {

@@ -70,6 +70,21 @@ func (v Vec) First() int {
 	return bits.TrailingZeros32(uint32(v))
 }
 
+// NextBit returns the index of the lowest set bit and v with that bit
+// cleared, for allocation-free ascending iteration (Bits allocates a
+// slice per call, which adds up in per-cycle router and checker code):
+//
+//	for w := v; !w.IsZero(); {
+//		var i int
+//		i, w = w.NextBit()
+//		...
+//	}
+//
+// NextBit on a zero vector returns (32, 0).
+func (v Vec) NextBit() (int, Vec) {
+	return bits.TrailingZeros32(uint32(v)), v & (v - 1)
+}
+
 // Bits returns the indices of all set bits in ascending order.
 func (v Vec) Bits() []int {
 	out := make([]int, 0, v.Count())
@@ -81,13 +96,24 @@ func (v Vec) Bits() []int {
 
 // Mask returns a vector with the low width bits set.
 func Mask(width int) Vec {
-	if width < 0 || width > 32 {
-		panic(fmt.Sprintf("bitvec: invalid width %d", width))
+	// The panic formatting lives in badWidth so Mask stays inlineable;
+	// routers and checkers mask vectors many times per cycle.
+	if uint(width) > 32 {
+		badWidth(width)
 	}
-	if width == 32 {
-		return Vec(^uint32(0))
-	}
-	return Vec(1<<uint(width) - 1)
+	// The 64-bit shift makes width == 32 fall out of the subtraction
+	// instead of needing its own branch, keeping Mask under the inline
+	// budget.
+	return Vec(uint64(1)<<uint(width) - 1)
+}
+
+// badWidth and badIndex stay out of line so the panic formatting does
+// not count against their callers' inline budgets (Mask, Set, Get and
+// friends run in per-cycle router and checker loops).
+//
+//go:noinline
+func badWidth(width int) {
+	panic(fmt.Sprintf("bitvec: invalid width %d", width))
 }
 
 // InWidth reports whether v has no bits set at or above width.
@@ -112,7 +138,13 @@ func (v Vec) String() string {
 }
 
 func checkIndex(i int) {
-	if i < 0 || i >= 32 {
-		panic(fmt.Sprintf("bitvec: bit index %d out of range", i))
+	// Split from its panic so Set/Clear/Flip/Get inline fully.
+	if uint(i) >= 32 {
+		badIndex(i)
 	}
+}
+
+//go:noinline
+func badIndex(i int) {
+	panic(fmt.Sprintf("bitvec: bit index %d out of range", i))
 }

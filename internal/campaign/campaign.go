@@ -6,14 +6,20 @@
 // Observations 1–5.
 //
 // Forking works by warming a single network to the injection cycle and
-// deep-cloning it per fault, so a cycle-32K campaign pays the warmup
-// once. Runs execute on a small worker pool.
+// re-forking it per fault, so a cycle-32K campaign pays the warmup once.
+// Runs execute on a small worker pool; each worker reuses one clone
+// arena (sim.Network.CloneInto) across all its runs, and runs whose
+// fault provably never fired short-circuit to a precomputed fault-free
+// template instead of simulating the remaining drain and ForEVeR
+// horizon.
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"nocalert/internal/core"
@@ -94,6 +100,19 @@ type Options struct {
 	Workers int
 	// CheckersDisabled optionally ablates NoCAlert checkers.
 	CheckersDisabled []core.CheckerID
+	// DisableFastPath forces every run down the full simulate-and-
+	// compare path even when its fault provably never fired. The fast
+	// path is bit-identical to the slow path; this switch exists for
+	// verification and benchmarking.
+	DisableFastPath bool
+	// Progress, when non-nil, is invoked after each completed run with
+	// the number of finished runs and the total. Calls are serialized;
+	// the callback must not call back into the campaign.
+	Progress func(done, total int)
+	// Context, when non-nil, cancels the campaign cooperatively: no new
+	// runs start after it is done and Run returns its error. Runs
+	// already in flight complete first.
+	Context context.Context
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -106,6 +125,9 @@ func (o *Options) withDefaults() (Options, error) {
 	}
 	if out.Workers <= 0 {
 		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	if out.Context == nil {
+		out.Context = context.Background()
 	}
 	if len(out.FaultGroups) == 0 {
 		if len(out.Faults) == 0 {
@@ -177,6 +199,19 @@ type Report struct {
 	GoldenForeverFalsePositive bool
 	// Results holds one entry per injected fault, in input order.
 	Results []RunResult
+	// FastPathHits counts runs resolved by the early-exit fast path
+	// (fault provably never fired; result synthesized from the
+	// fault-free template instead of simulating drain and horizon).
+	FastPathHits int
+}
+
+// worker holds the per-worker reusable state: a CloneInto target
+// network (with its flit arena) and a golden.Log for indexing faulty
+// ejections. Reusing these turns the per-fault allocation storm into a
+// once-per-worker cost.
+type worker struct {
+	net  *sim.Network
+	flog *golden.Log
 }
 
 // Run executes the campaign.
@@ -213,6 +248,17 @@ func Run(opts Options) (*Report, error) {
 	gfv := findForever(goldenNet)
 	goldenFvFP := gfv != nil && gfv.FirstDetectionAfter(o.InjectCycle) >= 0
 
+	// Fault-free template for the fast path: one full run through the
+	// same per-fault code path, with an empty fault plane. A run whose
+	// faults provably never fired is bit-identical to this run, so its
+	// result can be copied instead of simulated (slices are shared
+	// read-only across all fast-path results).
+	var tmpl RunResult
+	if !o.DisableFastPath {
+		var tw worker
+		tmpl = runSlow(&tw, base, goldenLog, o, nil)
+	}
+
 	report := &Report{
 		Opts:                       o,
 		GoldenEjections:            goldenLog.Total(),
@@ -220,22 +266,51 @@ func Run(opts Options) (*Report, error) {
 		Results:                    make([]RunResult, len(o.FaultGroups)),
 	}
 
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		progMu   sync.Mutex
+		done     int
+		fastHits int
+	)
+	total := len(o.FaultGroups)
 	jobs := make(chan int)
 	for w := 0; w < o.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var wk worker
 			for i := range jobs {
-				report.Results[i] = runOne(base, goldenLog, o, o.FaultGroups[i])
+				res, fast := runOne(&wk, base, goldenLog, &tmpl, o, o.FaultGroups[i])
+				report.Results[i] = res
+				progMu.Lock()
+				done++
+				if fast {
+					fastHits++
+				}
+				if o.Progress != nil {
+					o.Progress(done, total)
+				}
+				progMu.Unlock()
 			}
 		}()
 	}
+	ctx := o.Context
+	var ctxErr error
+feed:
 	for i := range o.FaultGroups {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	report.FastPathHits = fastHits
 	return report, nil
 }
 
@@ -261,25 +336,65 @@ func findForever(n *sim.Network) *forever.Monitor {
 	return nil
 }
 
-func runOne(base *sim.Network, goldenLog *golden.Log, o Options, group []fault.Fault) RunResult {
+// runOne executes one fault group's run. When the fast path is enabled
+// and every fault of the group provably expired without firing, the
+// remaining simulation is skipped and the fault-free template result is
+// returned (fast=true); the template is exact because an inert plane's
+// run is bit-identical to the fault-free continuation from the same
+// base state.
+func runOne(w *worker, base *sim.Network, goldenLog *golden.Log, tmpl *RunResult, o Options, group []fault.Fault) (res RunResult, fast bool) {
+	if !o.DisableFastPath {
+		plane := fault.NewPlane(group...)
+		n := base.CloneInto(w.net, plane)
+		w.net = n
+		eng := core.NewEngine(n.RouterConfig(), core.Options{Disabled: o.CheckersDisabled})
+		n.AttachMonitor(eng)
+		fv := findForever(n)
+		if fv != nil {
+			fv.ClearDetections()
+		}
+		for t := int64(0); t < o.PostInjectRun; t++ {
+			n.Step()
+			if n.FaultsInert() {
+				res = *tmpl
+				res.Fault = group[0]
+				res.Group = group
+				return res, true
+			}
+		}
+		return finishRun(n, eng, fv, plane, goldenLog, o, group, w), false
+	}
+	return runSlow(w, base, goldenLog, o, group), false
+}
+
+// runSlow executes one run end to end with no early exit. A nil group
+// runs with an empty fault plane (used to compute the fast-path
+// template).
+func runSlow(w *worker, base *sim.Network, goldenLog *golden.Log, o Options, group []fault.Fault) RunResult {
 	plane := fault.NewPlane(group...)
-	n := base.Clone(plane)
+	n := base.CloneInto(w.net, plane)
+	w.net = n
 	eng := core.NewEngine(n.RouterConfig(), core.Options{Disabled: o.CheckersDisabled})
 	n.AttachMonitor(eng)
 	fv := findForever(n)
 	if fv != nil {
 		fv.ClearDetections()
 	}
-
 	n.Run(o.PostInjectRun)
+	return finishRun(n, eng, fv, plane, goldenLog, o, group, w)
+}
+
+// finishRun drains the network, runs out the ForEVeR horizon, and
+// classifies the run against the golden reference.
+func finishRun(n *sim.Network, eng *core.Engine, fv *forever.Monitor, plane *fault.Plane, goldenLog *golden.Log, o Options, group []fault.Fault, w *worker) RunResult {
 	drained := n.Drain(o.DrainDeadline)
 	horizon := foreverHorizon(n.Cycle(), o.Forever)
 	for n.Cycle() < horizon {
 		n.Step()
 	}
 
-	faultyLog := golden.FromEjections(n.Ejections(), o.InjectCycle)
-	verdict := golden.Compare(goldenLog, faultyLog, drained)
+	w.flog = golden.FromEjectionsInto(w.flog, n.Ejections(), o.InjectCycle)
+	verdict := golden.Compare(goldenLog, w.flog, drained)
 	malicious := !verdict.OK()
 
 	fired := false
@@ -290,7 +405,6 @@ func runOne(base *sim.Network, goldenLog *golden.Log, o Options, group []fault.F
 		}
 	}
 	res := RunResult{
-		Fault:   group[0],
 		Group:   group,
 		Fired:   fired,
 		Verdict: verdict,
@@ -302,6 +416,9 @@ func runOne(base *sim.Network, goldenLog *golden.Log, o Options, group []fault.F
 		CheckersFired:      eng.FiredCheckers(),
 		FirstCycleCheckers: eng.FirstCycleCheckers(),
 		SimultaneityHist:   eng.SimultaneityHistogram(),
+	}
+	if len(group) > 0 {
+		res.Fault = group[0]
 	}
 	res.Outcome = classify(res.Detected, malicious)
 	if res.Detected {
@@ -336,20 +453,46 @@ func runOne(base *sim.Network, goldenLog *golden.Log, o Options, group []fault.F
 // SampleFaults draws n distinct single-bit transient faults injecting
 // at cycle, uniformly over every fault location of the mesh (or all of
 // them when n is 0 or exceeds the population). The draw is
-// deterministic in seed.
+// deterministic in seed. Sparse draws (2n < population) sample global
+// bit indices directly instead of materializing one Fault per location,
+// so sampling a few hundred faults from a large mesh stays O(sites+n)
+// rather than O(population).
 func SampleFaults(p fault.Params, n int, seed uint64, cycle int64) []fault.Fault {
-	var all []fault.Fault
-	for _, s := range p.EnumerateSites() {
-		all = append(all, fault.BitFaults(s, cycle, fault.Transient)...)
+	sites := p.EnumerateSites()
+	prefix := make([]int, len(sites)+1)
+	for i, s := range sites {
+		prefix[i+1] = prefix[i] + s.Width
 	}
-	if n <= 0 || n >= len(all) {
+	total := prefix[len(sites)]
+	if n <= 0 || n >= total {
+		all := make([]fault.Fault, 0, total)
+		for _, s := range sites {
+			all = append(all, fault.BitFaults(s, cycle, fault.Transient)...)
+		}
 		return all
 	}
 	g := rng.New(seed, 0xfa17)
-	perm := g.Perm(len(all))
-	out := make([]fault.Fault, n)
-	for i := 0; i < n; i++ {
-		out[i] = all[perm[i]]
+	idx := make([]int, 0, n)
+	if 2*n >= total {
+		// Dense draw: a permutation prefix is cheaper than rejection
+		// sampling when we want a large fraction of the population.
+		idx = append(idx, g.Perm(total)[:n]...)
+	} else {
+		seen := make(map[int]struct{}, n)
+		for len(idx) < n {
+			v := g.Intn(total)
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			idx = append(idx, v)
+		}
+	}
+	out := make([]fault.Fault, len(idx))
+	for i, v := range idx {
+		si := sort.SearchInts(prefix, v+1) - 1
+		s := sites[si]
+		out[i] = fault.Fault{Site: s, Bit: v - prefix[si], Cycle: cycle, Type: fault.Transient}
 	}
 	return out
 }

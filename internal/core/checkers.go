@@ -239,14 +239,18 @@ func (e *Engine) checkAllocation(s *router.Signals) {
 // routing to exactly that output.
 func (e *Engine) checkStageWires(s *router.Signals) {
 	for p := 0; p < router.P; p++ {
-		for _, v := range (s.VA1[p].Req | s.VA1[p].Gnt).Bits() {
+		for w := s.VA1[p].Req | s.VA1[p].Gnt; !w.IsZero(); {
+			var v int
+			v, w = w.NextBit()
 			pre := preVC(s, p, v)
 			if pre != nil && pre.State != router.VCWaitingVA {
 				e.emit(ConsistentVCState, s.Router, s.Cycle, p, v,
 					"VA1 activity for VC in state %s", pre.State)
 			}
 		}
-		for _, v := range (s.SA1[p].Req | s.SA1[p].Gnt).Bits() {
+		for w := s.SA1[p].Req | s.SA1[p].Gnt; !w.IsZero(); {
+			var v int
+			v, w = w.NextBit()
 			pre := preVC(s, p, v)
 			if pre == nil {
 				continue
@@ -260,7 +264,9 @@ func (e *Engine) checkStageWires(s *router.Signals) {
 		}
 	}
 	for o := 0; o < router.P; o++ {
-		for _, p := range s.VA2[o].Req.Bits() {
+		for rw := s.VA2[o].Req; !rw.IsZero(); {
+			var p int
+			p, rw = rw.NextBit()
 			w := s.VA1[p].Gnt.First()
 			if w < 0 {
 				e.emit(IntraVAStageOrder, s.Router, s.Cycle, p, -1,
@@ -272,7 +278,9 @@ func (e *Engine) checkStageWires(s *router.Signals) {
 					"VA2 request targets port %d but RC computed %d", o, pre.Route)
 			}
 		}
-		for _, p := range s.SA2[o].Req.Bits() {
+		for rw := s.SA2[o].Req; !rw.IsZero(); {
+			var p int
+			p, rw = rw.NextBit()
 			w := s.SA1[p].Gnt.First()
 			if w < 0 {
 				e.emit(IntraSAStageOrder, s.Router, s.Cycle, p, -1,
@@ -311,7 +319,9 @@ func (e *Engine) checkXbar(s *router.Signals) {
 			e.emit(XbarColumnOneHot, s.Router, s.Cycle, o, -1,
 				"column %d control vector %s is multi-hot", o, col)
 		}
-		for _, r := range col.Bits() {
+		for w := col; !w.IsZero(); {
+			var r int
+			r, w = w.NextBit()
 			rowUse[r]++
 			if !s.XbarRows.Get(r) && !(e.cfg.Speculative && s.XbarSpecNull.Get(o)) {
 				// A crossbar connection was set up but the selected row

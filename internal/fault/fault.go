@@ -15,7 +15,10 @@
 // behind the paper's Observation 3.
 package fault
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Kind identifies the signal class a fault site belongs to. Each kind
 // fixes which module boundary the Plane is consulted at and how Port/VC
@@ -220,13 +223,33 @@ type Plane struct {
 	// consulted signal, or -1 while it has not; campaigns use it to
 	// confirm the fault was exercised.
 	firedAt []int64
+	// minCycle and maxCycle bound the union of all fault activity
+	// windows. Routers consult the plane on every signal read of every
+	// cycle, so rejecting cycles outside the window before scanning the
+	// fault list is the difference between O(1) and O(faults) per
+	// consult — which dominates campaign runs, where faults are active
+	// for a single cycle out of thousands.
+	minCycle, maxCycle int64
 }
 
 // NewPlane returns a plane injecting the given faults.
 func NewPlane(faults ...Fault) *Plane {
 	p := &Plane{faults: faults, firedAt: make([]int64, len(faults))}
+	p.minCycle, p.maxCycle = math.MaxInt64, math.MinInt64
 	for i := range p.firedAt {
 		p.firedAt[i] = -1
+		f := &p.faults[i]
+		if f.Cycle < p.minCycle {
+			p.minCycle = f.Cycle
+		}
+		// Only one-shot faults have a closing window; permanent and
+		// periodic intermittent faults keep the plane live forever.
+		oneShot := f.Type == Transient || (f.Type == Intermittent && f.Period <= 0)
+		if !oneShot {
+			p.maxCycle = math.MaxInt64
+		} else if f.Cycle > p.maxCycle {
+			p.maxCycle = f.Cycle
+		}
 	}
 	return p
 }
@@ -247,19 +270,63 @@ func (p *Plane) FiredAt(i int) int64 {
 	return p.firedAt[i]
 }
 
+// Inert reports whether the plane can no longer influence a simulation
+// from the given cycle onward: every fault's window has closed without
+// the fault ever corrupting a consulted signal. Since a fault alters
+// state only through xorMask or TransientRegisterFlips — both of which
+// record firing — an inert plane's run is bit-identical to the
+// fault-free continuation from the fork point, which is what lets
+// campaigns short-circuit the remaining cycles. A nil or empty plane
+// is trivially inert.
+//
+// Inert is monotone: once true at some cycle it is true at every later
+// cycle (only transient windows can close, and a never-fired transient
+// past its cycle can never fire).
+func (p *Plane) Inert(cycle int64) bool {
+	if p == nil {
+		return true
+	}
+	for i := range p.faults {
+		f := &p.faults[i]
+		if p.firedAt[i] >= 0 {
+			return false
+		}
+		// Only transient faults have a closing window; permanent and
+		// intermittent faults can always strike again. Transient
+		// register upsets are applied (and marked fired) at f.Cycle,
+		// so they too are covered by the window check.
+		if f.Type != Transient || cycle <= f.Cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// LiveAt reports whether any fault window may be open at cycle — the
+// per-cycle gate routers cache in BeginCycle so that out-of-window
+// consults cost a single branch instead of a Plane method call.
+func (p *Plane) LiveAt(cycle int64) bool {
+	return p != nil && cycle >= p.minCycle && cycle <= p.maxCycle
+}
+
 // Clone returns an independent copy of the plane.
 func (p *Plane) Clone() *Plane {
 	if p == nil {
 		return nil
 	}
-	c := &Plane{faults: append([]Fault(nil), p.faults...), firedAt: append([]int64(nil), p.firedAt...)}
+	c := &Plane{
+		faults:   append([]Fault(nil), p.faults...),
+		firedAt:  append([]int64(nil), p.firedAt...),
+		minCycle: p.minCycle,
+		maxCycle: p.maxCycle,
+	}
 	return c
 }
 
 // xorMask returns the XOR mask to apply to the addressed signal at
 // cycle, and records firing.
 func (p *Plane) xorMask(cycle int64, router int, kind Kind, port, vc int) uint32 {
-	if p == nil || len(p.faults) == 0 {
+	if p == nil || len(p.faults) == 0 || cycle < p.minCycle || cycle > p.maxCycle {
 		return 0
 	}
 	var mask uint32
@@ -291,7 +358,7 @@ func (p *Plane) xorMask(cycle int64, router int, kind Kind, port, vc int) uint32
 // modelling a single-event upset that persists until the register is
 // rewritten. Returned faults are marked as fired.
 func (p *Plane) TransientRegisterFlips(cycle int64, router int) []Fault {
-	if p == nil || len(p.faults) == 0 {
+	if p == nil || len(p.faults) == 0 || cycle < p.minCycle || cycle > p.maxCycle {
 		return nil
 	}
 	var out []Fault
@@ -317,9 +384,17 @@ func (p *Plane) TransientRegisterFlips(cycle int64, router int) []Fault {
 // unsigned words, so a flipped high bit can push the value out of its
 // legal range — the illegal outputs invariances 2 and 19 watch for.
 func (p *Plane) Word(cycle int64, router int, kind Kind, port, vc int, value int) int {
-	if p == nil {
+	// Kept small enough to inline: routers consult the plane on every
+	// signal read, and outside the fault window (or with no plane at
+	// all) the consult must cost no more than a couple of compares. An
+	// empty plane has minCycle > maxCycle, so it always rejects here.
+	if p == nil || cycle < p.minCycle || cycle > p.maxCycle {
 		return value
 	}
+	return p.wordSlow(cycle, router, kind, port, vc, value)
+}
+
+func (p *Plane) wordSlow(cycle int64, router int, kind Kind, port, vc int, value int) int {
 	m := p.xorMask(cycle, router, kind, port, vc)
 	if m == 0 {
 		return value
@@ -329,7 +404,7 @@ func (p *Plane) Word(cycle int64, router int, kind Kind, port, vc int, value int
 
 // Vec applies any matching fault to a bit-vector signal.
 func (p *Plane) Vec(cycle int64, router int, kind Kind, port, vc int, value uint32) uint32 {
-	if p == nil {
+	if p == nil || cycle < p.minCycle || cycle > p.maxCycle {
 		return value
 	}
 	return value ^ p.xorMask(cycle, router, kind, port, vc)

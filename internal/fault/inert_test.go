@@ -1,0 +1,71 @@
+package fault
+
+import "testing"
+
+func inertTestSite() Site {
+	return Site{Router: 0, Kind: VA1Gnt, Port: 0, VC: -1, Width: 4}
+}
+
+func TestInertNilAndEmptyPlane(t *testing.T) {
+	var p *Plane
+	if !p.Inert(0) {
+		t.Fatal("nil plane must be inert")
+	}
+	if !NewPlane().Inert(0) {
+		t.Fatal("empty plane must be inert")
+	}
+}
+
+func TestInertTransientWindow(t *testing.T) {
+	f := Fault{Site: inertTestSite(), Bit: 1, Cycle: 10, Type: Transient}
+	p := NewPlane(f)
+	for _, c := range []int64{0, 9, 10} {
+		if p.Inert(c) {
+			t.Fatalf("plane inert at cycle %d, window not closed until after cycle 10", c)
+		}
+	}
+	if !p.Inert(11) {
+		t.Fatal("unfired transient must be inert once its cycle has passed")
+	}
+	// Monotone: stays inert at every later cycle.
+	if !p.Inert(1000) {
+		t.Fatal("inertness must be monotone")
+	}
+}
+
+func TestInertFiredTransientNeverInert(t *testing.T) {
+	f := Fault{Site: inertTestSite(), Bit: 0, Cycle: 10, Type: Transient}
+	p := NewPlane(f)
+	// Consult the faulted signal during the active window so it fires.
+	got := p.Vec(10, 0, VA1Gnt, 0, -1, 0)
+	if got == 0 {
+		t.Fatal("active fault did not corrupt the consulted vector")
+	}
+	if p.FiredAt(0) != 10 {
+		t.Fatalf("FiredAt = %d, want 10", p.FiredAt(0))
+	}
+	if p.Inert(100) {
+		t.Fatal("a fired fault can never be inert: its perturbation is live in the network")
+	}
+}
+
+func TestInertPermanentNeverInert(t *testing.T) {
+	f := Fault{Site: inertTestSite(), Bit: 0, Cycle: 10, Type: Permanent}
+	p := NewPlane(f)
+	if p.Inert(1 << 30) {
+		t.Fatal("permanent fault windows never close")
+	}
+}
+
+func TestInertMixedGroup(t *testing.T) {
+	s := inertTestSite()
+	expired := Fault{Site: s, Bit: 0, Cycle: 10, Type: Transient}
+	pending := Fault{Site: s, Bit: 1, Cycle: 50, Type: Transient}
+	p := NewPlane(expired, pending)
+	if p.Inert(20) {
+		t.Fatal("group with a pending fault must not be inert")
+	}
+	if !p.Inert(51) {
+		t.Fatal("group must be inert once every window has closed unfired")
+	}
+}

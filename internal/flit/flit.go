@@ -187,3 +187,55 @@ func (f *Flit) Clone() *Flit {
 	c := *f
 	return &c
 }
+
+// arenaSlabSize is the number of flits per arena slab. A fork of a
+// loaded 8×8 mesh clones a few hundred buffered flits, so one or two
+// slabs cover a whole campaign run.
+const arenaSlabSize = 256
+
+// Arena is a slab-based bump allocator for flits. Fault campaigns fork
+// a warmed network once per fault, and each fork deep-copies every
+// buffered flit of every router; an Arena lets a worker pay those
+// allocations once and recycle them for every subsequent fork. Get and
+// CloneOf hand out slots in order; Reset recycles every slot at once.
+// All flits obtained from an arena are invalidated by Reset — callers
+// must not retain them across it. An Arena is not safe for concurrent
+// use; campaigns keep one per worker.
+type Arena struct {
+	slabs [][]Flit
+	slab  int // index of the slab currently being filled
+	used  int // slots handed out from the current slab
+}
+
+// Get returns a zeroed flit slot from the arena.
+func (a *Arena) Get() *Flit {
+	if a.slab == len(a.slabs) {
+		a.slabs = append(a.slabs, make([]Flit, arenaSlabSize))
+	}
+	s := a.slabs[a.slab]
+	f := &s[a.used]
+	a.used++
+	if a.used == len(s) {
+		a.slab++
+		a.used = 0
+	}
+	*f = Flit{}
+	return f
+}
+
+// CloneOf returns a copy of f backed by the arena. A nil arena falls
+// back to a heap clone, so callers can thread an optional arena without
+// branching.
+func (a *Arena) CloneOf(f *Flit) *Flit {
+	if a == nil {
+		return f.Clone()
+	}
+	c := a.Get()
+	*c = *f
+	return c
+}
+
+// Reset recycles every slot handed out since the last Reset, keeping
+// the slabs for reuse. Flits previously returned by Get or CloneOf
+// become invalid.
+func (a *Arena) Reset() { a.slab, a.used = 0, 0 }

@@ -47,9 +47,31 @@ type Log struct {
 // boundary so that forked runs compare only their divergent suffix;
 // pass 0 to index everything).
 func FromEjections(ejs []sim.Ejection, since int64) *Log {
-	l := &Log{
-		entries: make(map[Key][]Entry, len(ejs)),
-		perNode: make(map[int][]Key),
+	return FromEjectionsInto(nil, ejs, since)
+}
+
+// Reset empties the log while keeping its maps and per-node key slices
+// for reuse, so campaign workers can index one faulty run after another
+// without reallocating.
+func (l *Log) Reset() {
+	clear(l.entries)
+	for n, keys := range l.perNode {
+		l.perNode[n] = keys[:0]
+	}
+	l.total = 0
+}
+
+// FromEjectionsInto is FromEjections indexing into an existing log
+// (which it Resets first); a nil log allocates a fresh one. Returns the
+// log indexed into.
+func FromEjectionsInto(l *Log, ejs []sim.Ejection, since int64) *Log {
+	if l == nil {
+		l = &Log{
+			entries: make(map[Key][]Entry, len(ejs)),
+			perNode: make(map[int][]Key),
+		}
+	} else {
+		l.Reset()
 	}
 	for _, e := range ejs {
 		if e.Cycle < since {
@@ -90,7 +112,9 @@ type Verdict struct {
 	// Unbounded reports that the faulty run failed to drain before its
 	// deadline (deadlock, livelock, or stuck flits).
 	Unbounded bool
-	// Reasons holds up to a few human-readable findings.
+	// Reasons holds up to a few human-readable findings. Their order
+	// (and, past the cap, the captured subset) follows map iteration
+	// and is not deterministic across runs; every counter above is.
 	Reasons []string
 }
 

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"nocalert/internal/arbiter"
 	"nocalert/internal/fault"
 	"nocalert/internal/flit"
 )
@@ -13,55 +14,79 @@ import (
 // on this to fork thousands of faulty continuations from one warmed
 // network.
 func (r *Router) Clone(plane *fault.Plane) *Router {
-	c := &Router{
-		id:      r.id,
-		x:       r.x,
-		y:       r.y,
-		cfg:     r.cfg,
-		hasPort: r.hasPort,
-		plane:   plane,
-		stCol:   r.stCol,
-		readEn:  r.readEn,
-		stOut:   r.stOut,
-		stSpec:  r.stSpec,
+	return r.CloneInto(nil, plane, nil)
+}
+
+// CloneInto is Clone reusing dst's allocations: buffers, arbiters and
+// signal-record slices from a previous clone of the same router are
+// adopted instead of reallocated, and buffered flits are copied through
+// the optional arena. dst must be a previous CloneInto/Clone product of
+// this router (the same configuration and port set) or nil, in which
+// case a fresh copy is allocated. Campaign workers use this to pay the
+// 64-router allocation storm once per worker rather than once per
+// fault.
+func (r *Router) CloneInto(dst *Router, plane *fault.Plane, ar *flit.Arena) *Router {
+	c := dst
+	if c == nil {
+		c = &Router{}
+		c.sig.Pre.init(r.cfg)
 	}
+	c.id, c.x, c.y, c.cfg = r.id, r.x, r.y, r.cfg
+	c.crMask, c.vcClass = r.crMask, r.vcClass
+	c.hasPort = r.hasPort
+	c.plane = plane
 	c.va1WinnerReg = r.va1WinnerReg
+	c.stCol = r.stCol
+	c.readEn = r.readEn
+	c.stOut = r.stOut
+	c.stSpec = r.stSpec
+	c.creditsOut = c.creditsOut[:0]
 	for p := 0; p < P; p++ {
 		if !r.hasPort[p] {
 			continue
 		}
-		c.in[p] = r.in[p].clone(r.cfg.BufDepth)
-		c.out[p].vcs = append([]outVCState(nil), r.out[p].vcs...)
-		c.va1[p] = r.va1[p].Clone()
-		c.sa1[p] = r.sa1[p].Clone()
-		c.va2[p] = r.va2[p].Clone()
-		c.sa2[p] = r.sa2[p].Clone()
+		r.in[p].cloneInto(&c.in[p], r.cfg.BufDepth, ar)
+		c.out[p].vcs = append(c.out[p].vcs[:0], r.out[p].vcs...)
+		c.va1[p] = arbiter.Reclone(c.va1[p], r.va1[p])
+		c.sa1[p] = arbiter.Reclone(c.sa1[p], r.sa1[p])
+		c.va2[p] = arbiter.Reclone(c.va2[p], r.va2[p])
+		c.sa2[p] = arbiter.Reclone(c.sa2[p], r.sa2[p])
 		if f := r.arriving[p]; f != nil {
-			c.arriving[p] = f.Clone()
+			c.arriving[p] = ar.CloneOf(f)
+		} else {
+			c.arriving[p] = nil
 		}
 		c.creditIn[p] = r.creditIn[p]
 	}
-	c.sig.Pre.init(r.cfg)
 	return c
 }
 
-func (ip inputPort) clone(depth int) inputPort {
-	out := inputPort{sa1WinnerReg: ip.sa1WinnerReg}
-	out.vcs = make([]inVC, len(ip.vcs))
+// cloneInto deep-copies the input port into dst, reusing dst's VC and
+// buffer slices where capacity allows.
+func (ip *inputPort) cloneInto(dst *inputPort, depth int, ar *flit.Arena) {
+	dst.sa1WinnerReg = ip.sa1WinnerReg
+	if cap(dst.vcs) < len(ip.vcs) {
+		dst.vcs = make([]inVC, len(ip.vcs))
+	}
+	dst.vcs = dst.vcs[:len(ip.vcs)]
 	for i := range ip.vcs {
 		src := &ip.vcs[i]
-		dst := &out.vcs[i]
-		*dst = *src
-		dst.buf = make([]*flit.Flit, len(src.buf), depth)
-		for j, f := range src.buf {
-			dst.buf[j] = f.Clone()
+		d := &dst.vcs[i]
+		buf := d.buf
+		*d = *src
+		if cap(buf) < depth {
+			buf = make([]*flit.Flit, depth)
 		}
+		buf = buf[:len(src.buf)]
+		for j, f := range src.buf {
+			buf[j] = ar.CloneOf(f)
+		}
+		d.buf = buf
 		if src.lastRead != nil {
-			dst.lastRead = src.lastRead.Clone()
+			d.lastRead = ar.CloneOf(src.lastRead)
 		}
 		if src.lastWritten != nil {
-			dst.lastWritten = src.lastWritten.Clone()
+			d.lastWritten = ar.CloneOf(src.lastWritten)
 		}
 	}
-	return out
 }

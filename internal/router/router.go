@@ -27,6 +27,13 @@ type Router struct {
 	x, y int
 	cfg  *Config
 
+	// crMask and vcClass cache 1<<BitsFor(BufDepth)-1 and ClassOfVC —
+	// both consulted for every VC every cycle, and cheap enough to
+	// precompute once in New rather than re-derive (BitsFor and the
+	// ClassOfVC divisions showed up in campaign profiles).
+	crMask  int
+	vcClass [MaxVCs]int
+
 	hasPort [P]bool
 	in      [P]inputPort
 	out     [P]outputPort
@@ -50,6 +57,10 @@ type Router struct {
 	stSpec [P]bool       // per input port: grant was speculative
 
 	plane *fault.Plane
+	// planeLive caches plane.LiveAt for the current cycle (set in
+	// BeginCycle) so the 20+ per-cycle fault consults cost one branch
+	// when no fault window is open.
+	planeLive bool
 
 	// Per-cycle staging filled by the network before Evaluate.
 	arriving [P]*flit.Flit
@@ -67,6 +78,10 @@ func New(id int, cfg *Config, plane *fault.Plane) *Router {
 	}
 	r := &Router{id: id, cfg: cfg, plane: plane}
 	r.x, r.y = cfg.Mesh.Coords(id)
+	r.crMask = 1<<fault.BitsFor(cfg.BufDepth) - 1
+	for v := 0; v < cfg.VCs; v++ {
+		r.vcClass[v] = cfg.ClassOfVC(v)
+	}
 	for d := topology.North; d < topology.NumPorts; d++ {
 		p := int(d)
 		if !cfg.Mesh.HasPort(id, d) {
@@ -138,23 +153,43 @@ func (r *Router) StageCredit(d topology.Direction, vc int) {
 
 // ---- faulted register read path ----
 
+// fWord and fVec are the plane consults every signal read goes through.
+// planeLive (recomputed once per cycle in BeginCycle) short-circuits
+// them to a plain read on the overwhelming majority of cycles where no
+// fault window is open — campaign runs spend thousands of cycles per
+// single-cycle fault, so this branch is the plane's real fast path.
+
+func (r *Router) fWord(cycle int64, kind fault.Kind, port, vc, value int) int {
+	if !r.planeLive {
+		return value
+	}
+	return r.plane.Word(cycle, r.id, kind, port, vc, value)
+}
+
+func (r *Router) fVec(cycle int64, kind fault.Kind, port, vc int, value uint32) uint32 {
+	if !r.planeLive {
+		return value
+	}
+	return r.plane.Vec(cycle, r.id, kind, port, vc, value)
+}
+
 func (r *Router) vcStateR(cycle int64, p, v int) VCState {
-	raw := r.plane.Word(cycle, r.id, fault.VCStateReg, p, v, int(r.in[p].vcs[v].state))
+	raw := r.fWord(cycle, fault.VCStateReg, p, v, int(r.in[p].vcs[v].state))
 	return VCState(raw & 7)
 }
 
 func (r *Router) vcRouteR(cycle int64, p, v int) int {
-	return r.plane.Word(cycle, r.id, fault.VCRouteReg, p, v, r.in[p].vcs[v].route) & (1<<DirWidth - 1)
+	return r.fWord(cycle, fault.VCRouteReg, p, v, r.in[p].vcs[v].route) & (1<<DirWidth - 1)
 }
 
 func (r *Router) vcOutVCR(cycle int64, p, v int) int {
-	return r.plane.Word(cycle, r.id, fault.VCOutVCReg, p, v, r.in[p].vcs[v].outVC) & (MaxVCs - 1)
+	return r.fWord(cycle, fault.VCOutVCReg, p, v, r.in[p].vcs[v].outVC) & (MaxVCs - 1)
 }
 
-func (r *Router) creditMask() int { return 1<<fault.BitsFor(r.cfg.BufDepth) - 1 }
+func (r *Router) creditMask() int { return r.crMask }
 
 func (r *Router) creditR(cycle int64, o, v int) int {
-	return r.plane.Word(cycle, r.id, fault.CreditCountReg, o, v, r.out[o].vcs[v].credits) & r.creditMask()
+	return r.fWord(cycle, fault.CreditCountReg, o, v, r.out[o].vcs[v].credits) & r.creditMask()
 }
 
 // ---- cycle evaluation ----
@@ -164,6 +199,7 @@ func (r *Router) creditR(cycle int64, o, v int) int {
 // architectural snapshot is taken (through the faulted read path, the
 // same view the hardware checkers have).
 func (r *Router) BeginCycle(cycle int64) {
+	r.planeLive = r.plane.LiveAt(cycle)
 	r.applyRegisterUpsets(cycle)
 	r.sig.reset(r.id, cycle)
 	r.creditsOut = r.creditsOut[:0]
@@ -180,7 +216,7 @@ func (r *Router) BeginCycle(cycle int64) {
 				OutVC:   r.vcOutVCR(cycle, p, v),
 				Arrived: vc.arrived,
 				PktID:   vc.pktID,
-				Class:   r.cfg.ClassOfVC(v),
+				Class:   r.vcClass[v],
 			}
 			if h := vc.head(); h != nil {
 				pv.HasHead = true
@@ -251,11 +287,13 @@ func (r *Router) phaseBW(cycle int64) {
 			r.arriving[p] = nil
 			r.writeFlit(cycle, p, f)
 		}
-		cin := r.plane.Vec(cycle, r.id, fault.CreditSig, p, -1, uint32(r.creditIn[p]))
+		cin := r.fVec(cycle, fault.CreditSig, p, -1, uint32(r.creditIn[p]))
 		r.creditIn[p] = 0
 		vec := bitvec.Vec(cin) & bitvec.Mask(r.cfg.VCs)
 		r.sig.CreditsIn[p] = vec
-		for _, v := range vec.Bits() {
+		for w := vec; !w.IsZero(); {
+			var v int
+			v, w = w.NextBit()
 			ovc := &r.out[p].vcs[v]
 			ovc.credits = (ovc.credits + 1) & r.creditMask()
 			if ovc.tailSent && !ovc.free && ovc.credits >= r.cfg.BufDepth {
@@ -268,18 +306,21 @@ func (r *Router) phaseBW(cycle int64) {
 }
 
 func (r *Router) writeFlit(cycle int64, p int, f *flit.Flit) {
-	kindRaw := r.plane.Word(cycle, r.id, fault.FlitKindIn, p, -1, int(f.Kind)) & 3
+	kindRaw := r.fWord(cycle, fault.FlitKindIn, p, -1, int(f.Kind)) & 3
 	f.Kind = flit.Kind(kindRaw)
-	vcRaw := r.plane.Word(cycle, r.id, fault.FlitVCIn, p, -1, f.VC) & (MaxVCs - 1)
+	vcRaw := r.fWord(cycle, fault.FlitVCIn, p, -1, f.VC) & (MaxVCs - 1)
 	f.VC = vcRaw
 	var strobe bitvec.Vec
 	if vcRaw < r.cfg.VCs {
 		strobe = bitvec.New(vcRaw)
 	}
-	strobe = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.BufWrite, p, -1, uint32(strobe))) & bitvec.Mask(r.cfg.VCs)
+	strobe = bitvec.Vec(r.fVec(cycle, fault.BufWrite, p, -1, uint32(strobe))) & bitvec.Mask(r.cfg.VCs)
 	arr := Arrival{Port: p, Kind: f.Kind, VCField: vcRaw, Strobe: strobe, Flit: f}
-	targets := strobe.Bits()
-	for i, v := range targets {
+	i := -1
+	for w := strobe; !w.IsZero(); {
+		var v int
+		v, w = w.NextBit()
+		i++
 		vc := &r.in[p].vcs[v]
 		t := WriteTarget{
 			VC:          v,
@@ -357,11 +398,13 @@ func (r *Router) phaseST(cycle int64) {
 		if !nullified && vcSel < r.cfg.VCs {
 			strobe = bitvec.New(vcSel)
 		}
-		strobe = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.BufRead, p, -1, uint32(strobe))) & bitvec.Mask(r.cfg.VCs)
+		strobe = bitvec.Vec(r.fVec(cycle, fault.BufRead, p, -1, uint32(strobe))) & bitvec.Mask(r.cfg.VCs)
 		var emptyBits bitvec.Vec
 		var selFlit, firstFlit *flit.Flit
 		var selGarbage, firstGarbage bool
-		for _, v := range strobe.Bits() {
+		for w := strobe; !w.IsZero(); {
+			var v int
+			v, w = w.NextBit()
 			vc := &r.in[p].vcs[v]
 			if vc.empty() {
 				emptyBits = emptyBits.Set(v)
@@ -398,10 +441,12 @@ func (r *Router) phaseST(cycle int64) {
 		}
 		col := r.stCol[o]
 		r.stCol[o] = 0
-		col = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.XbarSel, o, -1, uint32(col))) & bitvec.Mask(P)
+		col = bitvec.Vec(r.fVec(cycle, fault.XbarSel, o, -1, uint32(col))) & bitvec.Mask(P)
 		r.sig.XbarCol[o] = col
 		took := false
-		for _, row := range col.Bits() {
+		for w := col; !w.IsZero(); {
+			var row int
+			row, w = w.NextBit()
 			if took || rowFlit[row] == nil {
 				// A second connected row collides on the output bus (the
 				// first wins); an empty row transmits nothing.
@@ -491,9 +536,9 @@ func (r *Router) phaseSA(cycle int64) {
 				specBits = specBits.Set(v)
 			}
 		}
-		req = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.SA1Req, p, -1, uint32(req))) & bitvec.Mask(r.cfg.VCs)
+		req = bitvec.Vec(r.fVec(cycle, fault.SA1Req, p, -1, uint32(req))) & bitvec.Mask(r.cfg.VCs)
 		gnt := r.sa1[p].Arbitrate(req)
-		gnt = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.SA1Gnt, p, -1, uint32(gnt))) & bitvec.Mask(r.cfg.VCs)
+		gnt = bitvec.Vec(r.fVec(cycle, fault.SA1Gnt, p, -1, uint32(gnt))) & bitvec.Mask(r.cfg.VCs)
 		r.sig.SA1[p] = ReqGnt{Req: req, Gnt: gnt}
 		if w := gnt.First(); w >= 0 {
 			sa1win[p] = w
@@ -515,15 +560,17 @@ func (r *Router) phaseSA(cycle int64) {
 				req = req.Set(p)
 			}
 		}
-		req = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.SA2Req, o, -1, uint32(req))) & bitvec.Mask(P)
+		req = bitvec.Vec(r.fVec(cycle, fault.SA2Req, o, -1, uint32(req))) & bitvec.Mask(P)
 		gnt := r.sa2[o].Arbitrate(req)
-		gnt = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.SA2Gnt, o, -1, uint32(gnt))) & bitvec.Mask(P)
+		gnt = bitvec.Vec(r.fVec(cycle, fault.SA2Gnt, o, -1, uint32(gnt))) & bitvec.Mask(P)
 		r.sig.SA2[o] = ReqGnt{Req: req, Gnt: gnt}
 		if gnt.IsZero() {
 			continue
 		}
 		r.stCol[o] = gnt
-		for _, p := range gnt.Bits() {
+		for w := gnt; !w.IsZero(); {
+			var p int
+			p, w = w.NextBit()
 			if !r.hasPort[p] {
 				continue
 			}
@@ -564,9 +611,9 @@ func (r *Router) phaseVA(cycle int64) {
 				req = req.Set(v)
 			}
 		}
-		req = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.VA1Req, p, -1, uint32(req))) & bitvec.Mask(r.cfg.VCs)
+		req = bitvec.Vec(r.fVec(cycle, fault.VA1Req, p, -1, uint32(req))) & bitvec.Mask(r.cfg.VCs)
 		gnt := r.va1[p].Arbitrate(req)
-		gnt = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.VA1Gnt, p, -1, uint32(gnt))) & bitvec.Mask(r.cfg.VCs)
+		gnt = bitvec.Vec(r.fVec(cycle, fault.VA1Gnt, p, -1, uint32(gnt))) & bitvec.Mask(r.cfg.VCs)
 		r.sig.VA1[p] = ReqGnt{Req: req, Gnt: gnt}
 		if w := gnt.First(); w >= 0 {
 			va1win[p] = w
@@ -593,11 +640,13 @@ func (r *Router) phaseVA(cycle int64) {
 			}
 			req = req.Set(p)
 		}
-		req = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.VA2Req, o, -1, uint32(req))) & bitvec.Mask(P)
+		req = bitvec.Vec(r.fVec(cycle, fault.VA2Req, o, -1, uint32(req))) & bitvec.Mask(P)
 		gnt := r.va2[o].Arbitrate(req)
-		gnt = bitvec.Vec(r.plane.Vec(cycle, r.id, fault.VA2Gnt, o, -1, uint32(gnt))) & bitvec.Mask(P)
+		gnt = bitvec.Vec(r.fVec(cycle, fault.VA2Gnt, o, -1, uint32(gnt))) & bitvec.Mask(P)
 		r.sig.VA2[o] = ReqGnt{Req: req, Gnt: gnt}
-		for _, p := range gnt.Bits() {
+		for gw := gnt; !gw.IsZero(); {
+			var p int
+			p, gw = gw.NextBit()
 			if !r.hasPort[p] {
 				continue
 			}
@@ -607,7 +656,7 @@ func (r *Router) phaseVA(cycle int64) {
 			if chosen >= 0 {
 				code = chosen
 			}
-			code = r.plane.Word(cycle, r.id, fault.VA2OutVC, o, -1, code) & (MaxVCs - 1)
+			code = r.fWord(cycle, fault.VA2OutVC, o, -1, code) & (MaxVCs - 1)
 			assign := VAAssign{OutPort: o, InPort: p, InVC: w, OutVC: code}
 			if code < r.cfg.VCs {
 				tgt := &r.out[o].vcs[code]
@@ -637,7 +686,7 @@ func (r *Router) classOf(p, v int) int {
 			return cl
 		}
 	}
-	return r.cfg.ClassOfVC(v)
+	return r.vcClass[v]
 }
 
 // freeOutVC returns the lowest free output VC of port o within class,
@@ -687,12 +736,12 @@ func (r *Router) execRC(cycle int64, p, v int) {
 	trueDX, trueDY := dx, dy
 	xMask := 1<<fault.BitsFor(r.cfg.Mesh.W-1) - 1
 	yMask := 1<<fault.BitsFor(r.cfg.Mesh.H-1) - 1
-	dx = r.plane.Word(cycle, r.id, fault.RCInDestX, p, -1, dx) & xMask
-	dy = r.plane.Word(cycle, r.id, fault.RCInDestY, p, -1, dy) & yMask
+	dx = r.fWord(cycle, fault.RCInDestX, p, -1, dx) & xMask
+	dy = r.fWord(cycle, fault.RCInDestY, p, -1, dy) & yMask
 	cands := r.cfg.Alg.Candidates(r.cfg.Mesh, r.id, dx, dy, topology.Direction(p))
 	dir := r.pickCandidate(cands)
 	code := int(dir) & (1<<DirWidth - 1)
-	code = r.plane.Word(cycle, r.id, fault.RCOutDir, p, -1, code) & (1<<DirWidth - 1)
+	code = r.fWord(cycle, fault.RCOutDir, p, -1, code) & (1<<DirWidth - 1)
 	vc.route = code
 	vc.state = VCWaitingVA
 	r.sig.RCExecs = append(r.sig.RCExecs, RCExec{

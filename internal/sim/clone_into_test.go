@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// ejRecord is an ejection with the flit flattened to a value, so logs
+// from different clones compare by content rather than pointer.
+type ejRecord struct {
+	node  int
+	cycle int64
+	pkt   uint64
+	seq   int
+}
+
+func runAndRecord(n *Network, cycles int64) []ejRecord {
+	n.Run(cycles)
+	out := make([]ejRecord, 0, len(n.Ejections()))
+	for _, e := range n.Ejections() {
+		out = append(out, ejRecord{node: e.Node, cycle: e.Cycle, pkt: e.Flit.PacketID, seq: e.Flit.Seq})
+	}
+	return out
+}
+
+// TestCloneIntoMatchesClone forks a warmed, loaded network with both
+// Clone and CloneInto and checks that the copies carry identical
+// architectural state and behave identically for hundreds of cycles.
+func TestCloneIntoMatchesClone(t *testing.T) {
+	base := MustNew(cfg44(0.2, 9), nil)
+	base.Run(300)
+
+	ref := base.Clone(nil)
+	reuse := base.CloneInto(nil, nil)
+
+	// State equivalence at the fork point: routers and NIs must be
+	// deep-equal between the two clone paths (the ejection log is the
+	// one documented difference — CloneInto starts it empty).
+	for i := range ref.routers {
+		if !reflect.DeepEqual(ref.routers[i], reuse.routers[i]) {
+			t.Fatalf("router %d state differs between Clone and CloneInto", i)
+		}
+	}
+	for i := range ref.nis {
+		if !reflect.DeepEqual(ref.nis[i], reuse.nis[i]) {
+			t.Fatalf("NI %d state differs between Clone and CloneInto", i)
+		}
+	}
+	if len(reuse.Ejections()) != 0 {
+		t.Fatalf("CloneInto must start with an empty ejection log, got %d entries", len(reuse.Ejections()))
+	}
+
+	// Behavioral equivalence: both clones must eject exactly the same
+	// flits at the same nodes and cycles.
+	before := len(ref.Ejections())
+	refLog := runAndRecord(ref, 400)[before:]
+	reuseLog := runAndRecord(reuse, 400)
+	if !reflect.DeepEqual(refLog, reuseLog) {
+		t.Fatalf("post-fork ejections diverge: Clone %d entries, CloneInto %d entries", len(refLog), len(reuseLog))
+	}
+	if ref.Cycle() != reuse.Cycle() || ref.InFlight() != reuse.InFlight() {
+		t.Fatalf("cycle/in-flight diverge: (%d,%d) vs (%d,%d)",
+			ref.Cycle(), ref.InFlight(), reuse.Cycle(), reuse.InFlight())
+	}
+}
+
+// TestCloneIntoReuseAcrossForks dirties a CloneInto target with one
+// run, re-forks into the same storage, and checks the second fork is
+// indistinguishable from a fresh clone — the invariant campaign
+// workers rely on when recycling one network across thousands of runs.
+func TestCloneIntoReuseAcrossForks(t *testing.T) {
+	base := MustNew(cfg44(0.2, 11), nil)
+	base.Run(300)
+
+	arena := base.CloneInto(nil, nil)
+	runAndRecord(arena, 500) // dirty the reusable clone
+
+	arena = base.CloneInto(arena, nil)
+	gotLog := runAndRecord(arena, 400)
+
+	fresh := base.Clone(nil)
+	before := len(fresh.Ejections())
+	wantLog := runAndRecord(fresh, 400)[before:]
+
+	if !reflect.DeepEqual(gotLog, wantLog) {
+		t.Fatalf("re-forked clone diverges from fresh clone: %d vs %d entries", len(gotLog), len(wantLog))
+	}
+	if arena.Cycle() != fresh.Cycle() || arena.InFlight() != fresh.InFlight() {
+		t.Fatalf("cycle/in-flight diverge after re-fork: (%d,%d) vs (%d,%d)",
+			arena.Cycle(), arena.InFlight(), fresh.Cycle(), fresh.InFlight())
+	}
+}

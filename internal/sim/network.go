@@ -64,6 +64,13 @@ type Network struct {
 
 	// scratch reused across cycles
 	ejectScratch []*flit.Flit
+
+	// arena backs flit copies when this network is a CloneInto target;
+	// it is reset and refilled on every re-fork.
+	arena *flit.Arena
+	// planeInert caches Plane.Inert once it turns true (the property is
+	// monotone), so the per-cycle fast-path check is a bool load.
+	planeInert bool
 }
 
 // New builds a network from the configuration. The fault plane may be
@@ -347,6 +354,20 @@ func (n *Network) allNIsIdle() bool {
 	return true
 }
 
+// FaultsInert reports whether the attached fault plane can no longer
+// influence this network from the current cycle onward — every fault
+// window has closed without corrupting a consulted signal (see
+// fault.Plane.Inert). Campaigns poll this after each Step to
+// short-circuit runs whose remainder is bit-identical to the fault-free
+// golden continuation. The property is monotone, so the result is
+// cached once true.
+func (n *Network) FaultsInert() bool {
+	if !n.planeInert && n.plane.Inert(n.cycle) {
+		n.planeInert = true
+	}
+	return n.planeInert
+}
+
 // Clone deep-copies the network for a forked continuation under the
 // given fault plane (nil for a fault-free fork). Attached monitors are
 // carried over only when they implement CloneableMonitor.
@@ -373,6 +394,57 @@ func (n *Network) Clone(plane *fault.Plane) *Network {
 		c.nis[i] = ni.clone()
 	}
 	c.ejections = append([]Ejection(nil), n.ejections...)
+	for _, m := range n.monitors {
+		if cm, ok := m.(CloneableMonitor); ok {
+			c.monitors = append(c.monitors, cm.CloneMonitor())
+		}
+	}
+	return c
+}
+
+// CloneInto is Clone reusing dst's allocations: routers, NIs, buffers
+// and arbiters from a previous fork are overwritten in place, and all
+// flit copies go through a per-clone arena that is recycled on every
+// call. dst must be a previous CloneInto product of this network (or
+// nil, in which case a fresh reusable clone is allocated); the caller
+// must be done with dst's previous contents, including any flits it
+// handed out. Returns dst.
+//
+// Two deliberate differences from Clone: the copy's ejection log starts
+// empty (every pre-fork ejection happened strictly before the fork
+// cycle, and campaign comparisons only consider post-fork ejections),
+// and monitors are re-cloned into a reused slice. Campaign workers use
+// CloneInto to pay the per-fork allocation storm once per worker
+// instead of once per fault.
+func (n *Network) CloneInto(dst *Network, plane *fault.Plane) *Network {
+	c := dst
+	if c == nil {
+		c = &Network{arena: &flit.Arena{}}
+		c.routers = make([]*router.Router, len(n.routers))
+		c.nis = make([]*NI, len(n.nis))
+	}
+	c.arena.Reset()
+	c.cfg = n.cfg
+	c.rcfg = n.rcfg
+	c.mesh = n.mesh
+	c.plane = plane
+	c.planeInert = false
+	c.cycle = n.cycle
+	c.nextPkt = n.nextPkt
+	c.injecting = n.injecting
+	c.pktProb = n.pktProb
+	c.flitsInjected = n.flitsInjected
+	c.flitsEjected = n.flitsEjected
+	c.pktsOffered = n.pktsOffered
+	for i, r := range n.routers {
+		c.routers[i] = r.CloneInto(c.routers[i], plane, c.arena)
+	}
+	for i, ni := range n.nis {
+		c.nis[i] = ni.cloneInto(c.nis[i], c.arena)
+	}
+	c.ejections = c.ejections[:0]
+	c.ejectScratch = c.ejectScratch[:0]
+	c.monitors = c.monitors[:0]
 	for _, m := range n.monitors {
 		if cm, ok := m.(CloneableMonitor); ok {
 			c.monitors = append(c.monitors, cm.CloneMonitor())

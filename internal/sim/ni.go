@@ -41,6 +41,9 @@ type NI struct {
 	cur    []*flit.Flit   // flits of the packet currently streaming
 	curVC  int
 	outVCs []niOutVC
+	// pktSlab backs queue entries in CloneInto targets so re-forks reuse
+	// packet storage instead of allocating per queued packet.
+	pktSlab []flit.Packet
 	// Ejection side.
 	inbox   []niArrival
 	credits []niCredit
@@ -163,26 +166,41 @@ func (ni *NI) pickFreeVC(class int) int {
 
 // clone returns a deep copy of the NI.
 func (ni *NI) clone() *NI {
-	c := &NI{
-		node:  ni.node,
-		cfg:   ni.cfg,
-		gen:   ni.gen.Clone(),
-		curVC: ni.curVC,
+	return ni.cloneInto(nil, nil)
+}
+
+// cloneInto deep-copies the NI into dst (nil allocates a fresh copy),
+// reusing dst's slices and drawing flit copies from the optional arena.
+// Queued packets are copied into a per-NI slab so re-forks allocate
+// nothing.
+func (ni *NI) cloneInto(dst *NI, ar *flit.Arena) *NI {
+	c := dst
+	if c == nil {
+		c = &NI{gen: ni.gen.Clone()}
+	} else {
+		*c.gen = *ni.gen
 	}
-	c.queue = make([]*flit.Packet, len(ni.queue))
+	c.node = ni.node
+	c.cfg = ni.cfg
+	c.curVC = ni.curVC
+	if cap(c.pktSlab) < len(ni.queue) {
+		c.pktSlab = make([]flit.Packet, len(ni.queue))
+	}
+	c.pktSlab = c.pktSlab[:len(ni.queue)]
+	c.queue = c.queue[:0]
 	for i, p := range ni.queue {
-		cp := *p
-		c.queue[i] = &cp
+		c.pktSlab[i] = *p
+		c.queue = append(c.queue, &c.pktSlab[i])
 	}
-	c.cur = make([]*flit.Flit, len(ni.cur))
-	for i, f := range ni.cur {
-		c.cur[i] = f.Clone()
+	c.cur = c.cur[:0]
+	for _, f := range ni.cur {
+		c.cur = append(c.cur, ar.CloneOf(f))
 	}
-	c.outVCs = append([]niOutVC(nil), ni.outVCs...)
-	c.inbox = make([]niArrival, len(ni.inbox))
-	for i, a := range ni.inbox {
-		c.inbox[i] = niArrival{f: a.f.Clone(), cycle: a.cycle}
+	c.outVCs = append(c.outVCs[:0], ni.outVCs...)
+	c.inbox = c.inbox[:0]
+	for _, a := range ni.inbox {
+		c.inbox = append(c.inbox, niArrival{f: ar.CloneOf(a.f), cycle: a.cycle})
 	}
-	c.credits = append([]niCredit(nil), ni.credits...)
+	c.credits = append(c.credits[:0], ni.credits...)
 	return c
 }
