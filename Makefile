@@ -14,17 +14,26 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# test also vets and race-checks the telemetry packages — they are
+# quick under -race, unlike the full campaign suite (see race).
+test: vet
 	$(GO) test ./...
+	$(GO) test -race ./internal/metrics ./internal/trace
 
-# The campaign and simulator packages are the concurrent ones (worker
-# pools forking clones); run them under the race detector. The campaign
-# package takes several minutes race-enabled.
+# The campaign, simulator, metrics and trace packages are the
+# concurrent ones (worker pools forking clones, lock-free instrument
+# updates, NDJSON writers); run them under the race detector. The
+# campaign package takes several minutes race-enabled.
 race:
-	$(GO) test -race ./internal/campaign ./internal/sim
+	$(GO) test -race ./internal/campaign ./internal/sim ./internal/metrics ./internal/trace
 
-# Campaign throughput baseline (faults/sec, ns/fault, allocs/fault).
+# Campaign throughput baseline (faults/sec, ns/fault, allocs/fault),
+# plus a timestamped record appended to BENCH_4x4.json so the perf
+# trajectory accumulates across revisions.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkCampaignRun -benchtime 3x .
+	$(GO) run ./cmd/faultcampaign -mesh 4x4 -rate 0.12 -inject 300 -post 400 \
+		-drain 5000 -epoch 400 -faults 160 -seed 3 -fig none \
+		-progress=false -benchjson BENCH_4x4.json
 
 ci: vet build test race

@@ -21,11 +21,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	_ "expvar" // registers /debug/vars on the telemetry server
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the telemetry server
 	"os"
 	"os/signal"
 	"runtime"
@@ -56,6 +62,8 @@ func main() {
 		benchOut = flag.String("benchjson", "", "write a campaign throughput record (faults/sec) as JSON to this file")
 		noFast   = flag.Bool("nofastpath", false, "disable the early-exit fast path for non-firing faults")
 		progress = flag.Bool("progress", true, "print campaign progress to stderr")
+		telAddr  = flag.String("telemetry", "", "serve live telemetry on this address (pprof at /debug/pprof/, expvar at /debug/vars, metrics at /metricsz)")
+		traceOut = flag.String("trace", "", "stream one NDJSON record per completed fault run to this file")
 	)
 	flag.Parse()
 
@@ -83,19 +91,57 @@ func main() {
 	fmt.Printf("fault population: %d single-bit locations (%d sites); injecting %d at cycle %d\n",
 		totalBits(params), len(params.EnumerateSites()), len(faults), *inject)
 
+	// Telemetry: one registry feeds the progress line's ETA, the
+	// /metricsz endpoint and the live faults/sec gauge. It stays nil —
+	// zero cost — when neither consumer is active.
+	var reg *nocalert.MetricsRegistry
+	if *progress || *telAddr != "" {
+		reg = nocalert.NewMetricsRegistry()
+	}
+	if *telAddr != "" {
+		addr, err := serveTelemetry(*telAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry: http://%s/metricsz (pprof /debug/pprof/, expvar /debug/vars)\n", addr)
+	}
+
+	var onResult func(i int, res *nocalert.CampaignResult, wall time.Duration, fast bool)
+	var tw *nocalert.RunTraceWriter
+	var traceFile *os.File
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tw = nocalert.NewRunTraceWriter(traceFile)
+		onResult = func(i int, res *nocalert.CampaignResult, wall time.Duration, fast bool) {
+			rec := toRunRecord(i, res, wall, fast)
+			if err := tw.Write(&rec); err != nil {
+				log.Fatalf("trace: %v", err)
+			}
+		}
+	}
+
 	var report func(done, total int)
 	if *progress {
-		lastPct := -1
+		lastBucket := -1 // emit on every new 5% bucket, including 0%
 		report = func(done, total int) {
 			pct := done * 100 / total
-			if pct/5 > lastPct/5 || done == total {
-				lastPct = pct
-				fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d runs (%d%%)", done, total, pct)
+			if bucket := pct / 5; bucket > lastBucket || done == total {
+				lastBucket = bucket
+				line := fmt.Sprintf("\rcampaign: %d/%d runs (%d%%)", done, total, pct)
+				if fps := reg.Gauge(nocalert.MetricCampaignFaultsPerSec).Value(); fps > 0 && done < total {
+					eta := time.Duration(float64(total-done) / fps * float64(time.Second))
+					line += fmt.Sprintf(" | %.1f faults/sec, ETA %s", fps, eta.Round(time.Second))
+				}
+				fmt.Fprint(os.Stderr, line)
 				if done == total {
 					fmt.Fprintln(os.Stderr)
 				}
 			}
 		}
+		report(0, len(faults)) // the 0% line must appear before the first run completes
 	}
 	start := time.Now()
 	rep, err := nocalert.RunCampaign(nocalert.CampaignOptions{
@@ -108,10 +154,21 @@ func main() {
 		Workers:         *workers,
 		DisableFastPath: *noFast,
 		Progress:        report,
+		Metrics:         reg,
+		OnResult:        onResult,
 		Context:         ctx,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tw != nil {
+		if err := tw.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run trace: %d NDJSON records written to %s\n", tw.Records(), *traceOut)
 	}
 	wall := time.Since(start)
 	fmt.Printf("campaign: %d runs in %v; %d faults fired, %d caused network-correctness violations, %d fast-path exits\n\n",
@@ -121,7 +178,7 @@ func main() {
 		if err := writeBenchRecord(*benchOut, *meshSpec, rep, *workers, wall); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("throughput record written to %s\n\n", *benchOut)
+		fmt.Printf("throughput record appended to %s\n\n", *benchOut)
 	}
 
 	if all || want["6"] {
@@ -247,10 +304,71 @@ func obs3(simCfg nocalert.SimConfig, params nocalert.FaultParams, inject, post, 
 	fmt.Println()
 }
 
+// serveTelemetry starts the live-profiling HTTP server: /metricsz
+// (JSON registry snapshot; ?format=text for the plain rendering) plus
+// whatever the expvar and net/http/pprof imports registered on the
+// default mux. It returns the bound address ("localhost:0" picks a
+// port).
+func serveTelemetry(addr string, reg *nocalert.MetricsRegistry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	http.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			reg.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			log.Printf("telemetry server: %v", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// toRunRecord flattens one campaign result into the NDJSON trace
+// schema; detection latencies are -1 when the mechanism never fired.
+func toRunRecord(i int, res *nocalert.CampaignResult, wall time.Duration, fast bool) nocalert.RunTraceRecord {
+	lat := func(detected bool, l int64) int64 {
+		if !detected {
+			return -1
+		}
+		return l
+	}
+	return nocalert.RunTraceRecord{
+		Index:           i,
+		Router:          res.Fault.Site.Router,
+		Signal:          res.Fault.Site.Kind.String(),
+		Port:            res.Fault.Site.Port,
+		VC:              res.Fault.Site.VC,
+		Bit:             res.Fault.Bit,
+		FaultType:       res.Fault.Type.String(),
+		Cycle:           res.Fault.Cycle,
+		Fired:           res.Fired,
+		Drained:         res.Drained,
+		FastPath:        fast,
+		Malicious:       !res.Verdict.OK(),
+		Unbounded:       res.Verdict.Unbounded,
+		Outcome:         res.Outcome.String(),
+		Latency:         lat(res.Detected, res.Latency),
+		CautiousOutcome: res.CautiousOutcome.String(),
+		CautiousLatency: lat(res.CautiousDetected, res.CautiousLatency),
+		ForeverOutcome:  res.ForeverOutcome.String(),
+		ForeverLatency:  lat(res.ForeverDetected, res.ForeverLatency),
+		WallSeconds:     wall.Seconds(),
+	}
+}
+
 // benchRecord is the throughput measurement -benchjson emits, so perf
 // runs can be tracked across revisions.
 type benchRecord struct {
 	Name         string  `json:"name"`
+	Timestamp    string  `json:"timestamp"`
 	Mesh         string  `json:"mesh"`
 	Faults       int     `json:"faults"`
 	FastPathHits int     `json:"fast_path_hits"`
@@ -260,12 +378,17 @@ type benchRecord struct {
 	FaultsPerSec float64 `json:"faults_per_sec"`
 }
 
+// writeBenchRecord appends a timestamped throughput record to path, so
+// repeated runs accumulate a perf trajectory. Existing files are kept:
+// a JSON array is extended in place, and the legacy shape (one or more
+// concatenated JSON objects) is absorbed into the array form.
 func writeBenchRecord(path, mesh string, rep *nocalert.CampaignReport, workers int, wall time.Duration) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	r := benchRecord{
 		Name:         "campaign",
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
 		Mesh:         mesh,
 		Faults:       len(rep.Results),
 		FastPathHits: rep.FastPathHits,
@@ -276,17 +399,32 @@ func writeBenchRecord(path, mesh string, rep *nocalert.CampaignReport, workers i
 	if s := wall.Seconds(); s > 0 {
 		r.FaultsPerSec = float64(r.Faults) / s
 	}
-	f, err := os.Create(path)
+	var records []json.RawMessage
+	if data, err := os.ReadFile(path); err == nil && len(bytes.TrimSpace(data)) > 0 {
+		if json.Unmarshal(data, &records) != nil {
+			records = records[:0]
+			dec := json.NewDecoder(bytes.NewReader(data))
+			for {
+				var raw json.RawMessage
+				if err := dec.Decode(&raw); err == io.EOF {
+					break
+				} else if err != nil {
+					return fmt.Errorf("benchjson: cannot parse existing %s: %v", path, err)
+				}
+				records = append(records, raw)
+			}
+		}
+	}
+	raw, err := json.Marshal(&r)
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(r); err != nil {
-		f.Close()
+	records = append(records, raw)
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
 		return err
 	}
-	return f.Close()
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 func totalBits(p nocalert.FaultParams) int {

@@ -21,11 +21,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"nocalert/internal/core"
 	"nocalert/internal/fault"
 	"nocalert/internal/forever"
 	"nocalert/internal/golden"
+	"nocalert/internal/metrics"
 	"nocalert/internal/rng"
 	"nocalert/internal/sim"
 )
@@ -109,6 +111,20 @@ type Options struct {
 	// the number of finished runs and the total. Calls are serialized;
 	// the callback must not call back into the campaign.
 	Progress func(done, total int)
+	// Metrics, when non-nil, receives campaign telemetry: run counts,
+	// per-run wall-time histograms, fast-path hit/miss counters,
+	// outcome and verdict-class counters, and a live faults/sec gauge
+	// (see the Metric* name constants). Nil — the default — keeps the
+	// hot path free of any telemetry cost.
+	Metrics *metrics.Registry
+	// OnResult, when non-nil, is invoked after each completed run with
+	// the run's index in FaultGroups, its result, its wall time and
+	// whether the fast path resolved it. Calls are serialized under the
+	// same mutex as Progress (and precede the Progress call for the
+	// same run); the result pointer is only valid during the call if
+	// the caller mutates the report afterwards — copy, don't retain.
+	// The faultcampaign CLI streams its NDJSON run trace from here.
+	OnResult func(index int, res *RunResult, wall time.Duration, fastPath bool)
 	// Context, when non-nil, cancels the campaign cooperatively: no new
 	// runs start after it is done and Run returns its error. Runs
 	// already in flight complete first.
@@ -273,6 +289,15 @@ func Run(opts Options) (*Report, error) {
 		fastHits int
 	)
 	total := len(o.FaultGroups)
+	var inst *instruments
+	if o.Metrics != nil {
+		inst = newInstruments(o.Metrics, o.Workers, total)
+	}
+	// Per-run wall clocks are only read when someone is listening; the
+	// two time.Now calls are noise next to a run's milliseconds, but the
+	// metrics-off path stays byte-for-byte the old loop.
+	needTiming := inst != nil || o.OnResult != nil
+	campaignStart := time.Now()
 	jobs := make(chan int)
 	for w := 0; w < o.Workers; w++ {
 		wg.Add(1)
@@ -280,12 +305,26 @@ func Run(opts Options) (*Report, error) {
 			defer wg.Done()
 			var wk worker
 			for i := range jobs {
+				var runStart time.Time
+				if needTiming {
+					runStart = time.Now()
+				}
 				res, fast := runOne(&wk, base, goldenLog, &tmpl, o, o.FaultGroups[i])
+				var wall time.Duration
+				if needTiming {
+					wall = time.Since(runStart)
+				}
 				report.Results[i] = res
 				progMu.Lock()
 				done++
 				if fast {
 					fastHits++
+				}
+				if inst != nil {
+					inst.observe(&report.Results[i], wall, fast, done, time.Since(campaignStart))
+				}
+				if o.OnResult != nil {
+					o.OnResult(i, &report.Results[i], wall, fast)
 				}
 				if o.Progress != nil {
 					o.Progress(done, total)

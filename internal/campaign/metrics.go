@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"time"
+
+	"nocalert/internal/metrics"
+)
+
+// Metric names Run publishes when Options.Metrics is set. Exported so
+// drivers (the faultcampaign CLI's ETA line, dashboards, tests) can
+// address the instruments without duplicating string literals.
+const (
+	// MetricRuns counts completed runs (fast-path and simulated alike).
+	MetricRuns = "campaign_runs_total"
+	// MetricRunsExpected is a gauge holding the campaign's planned run
+	// count, so remote observers can compute completion without the
+	// report.
+	MetricRunsExpected = "campaign_runs_expected"
+	// MetricFastPathHits / MetricFastPathMisses split completed runs by
+	// whether the early-exit fast path resolved them.
+	MetricFastPathHits   = "campaign_fastpath_hits_total"
+	MetricFastPathMisses = "campaign_fastpath_misses_total"
+	// MetricFaultsPerSec is the live throughput gauge, updated under
+	// the progress mutex after every completed run.
+	MetricFaultsPerSec = "campaign_faults_per_sec"
+	// MetricWorkers is the resolved worker-pool size.
+	MetricWorkers = "campaign_workers"
+	// MetricRunSeconds is the per-run wall-time histogram (seconds,
+	// exponential buckets 1 ms … ~32 s).
+	MetricRunSeconds = "campaign_run_seconds"
+	// MetricFired counts runs whose fault corrupted a live signal.
+	MetricFired = "campaign_faults_fired_total"
+	// Verdict-class counters: every run increments exactly one of
+	// ok/malicious; Unbounded additionally marks failed drains.
+	MetricVerdictOK        = "campaign_verdict_ok_total"
+	MetricVerdictMalicious = "campaign_verdict_malicious_total"
+	MetricVerdictUnbounded = "campaign_verdict_unbounded_total"
+)
+
+// mechMetricNames and outcomeMetricNames spell the per-mechanism
+// outcome counters: campaign_outcome_<mechanism>_<outcome>_total.
+var (
+	mechMetricNames    = [...]string{"nocalert", "cautious", "forever"}
+	outcomeMetricNames = [...]string{"tn", "tp", "fp", "fn"} // Outcome iota order
+)
+
+// OutcomeMetricName returns the counter name tracking outcome o of
+// mechanism m, e.g. campaign_outcome_nocalert_tp_total.
+func OutcomeMetricName(m Mechanism, o Outcome) string {
+	return "campaign_outcome_" + mechMetricNames[int(m)] + "_" + outcomeMetricNames[int(o)] + "_total"
+}
+
+// runSecondsBounds is the MetricRunSeconds bucket layout.
+var runSecondsBounds = metrics.ExponentialBounds(0.001, 2, 16)
+
+// instruments holds the pre-resolved campaign instruments so the
+// per-run path does one pointer hop per update instead of a registry
+// lookup.
+type instruments struct {
+	runs       *metrics.Counter
+	fastHits   *metrics.Counter
+	fastMisses *metrics.Counter
+	fired      *metrics.Counter
+	verdictOK  *metrics.Counter
+	verdictMal *metrics.Counter
+	verdictUnb *metrics.Counter
+	outcomes   [len(mechMetricNames)][len(outcomeMetricNames)]*metrics.Counter
+	runSeconds *metrics.Histogram
+	faultsPS   *metrics.Gauge
+}
+
+func newInstruments(reg *metrics.Registry, workers, totalRuns int) *instruments {
+	in := &instruments{
+		runs:       reg.Counter(MetricRuns),
+		fastHits:   reg.Counter(MetricFastPathHits),
+		fastMisses: reg.Counter(MetricFastPathMisses),
+		fired:      reg.Counter(MetricFired),
+		verdictOK:  reg.Counter(MetricVerdictOK),
+		verdictMal: reg.Counter(MetricVerdictMalicious),
+		verdictUnb: reg.Counter(MetricVerdictUnbounded),
+		runSeconds: reg.Histogram(MetricRunSeconds, runSecondsBounds),
+		faultsPS:   reg.Gauge(MetricFaultsPerSec),
+	}
+	for m := range in.outcomes {
+		for o := range in.outcomes[m] {
+			in.outcomes[m][o] = reg.Counter(OutcomeMetricName(Mechanism(m), Outcome(o)))
+		}
+	}
+	reg.Gauge(MetricWorkers).Set(float64(workers))
+	reg.Gauge(MetricRunsExpected).Set(float64(totalRuns))
+	return in
+}
+
+// observe records one completed run. Called under the progress mutex,
+// so done/elapsed form a consistent throughput sample; the instruments
+// themselves are atomic and need no lock.
+func (in *instruments) observe(res *RunResult, wall time.Duration, fast bool, done int, elapsed time.Duration) {
+	in.runs.Inc()
+	if fast {
+		in.fastHits.Inc()
+	} else {
+		in.fastMisses.Inc()
+	}
+	if res.Fired {
+		in.fired.Inc()
+	}
+	if res.Verdict.OK() {
+		in.verdictOK.Inc()
+	} else {
+		in.verdictMal.Inc()
+	}
+	if res.Verdict.Unbounded {
+		in.verdictUnb.Inc()
+	}
+	in.outcomes[int(NoCAlert)][int(res.Outcome)].Inc()
+	in.outcomes[int(Cautious)][int(res.CautiousOutcome)].Inc()
+	in.outcomes[int(ForEVeR)][int(res.ForeverOutcome)].Inc()
+	in.runSeconds.Observe(wall.Seconds())
+	if s := elapsed.Seconds(); s > 0 {
+		in.faultsPS.Set(float64(done) / s)
+	}
+}

@@ -153,6 +153,7 @@ type Engine struct {
 	violations []Violation
 
 	// Aggregates.
+	total           int64                  // assertions across all checkers
 	perChecker      [NumCheckers + 1]int64 // assertion-cycle counts per checker
 	perCheckerAlone [NumCheckers + 1]int64 // cycles where only this checker fired
 	firstCycle      int64                  // first assertion, -1 if none
@@ -202,6 +203,7 @@ func (e *Engine) emit(id CheckerID, routerID int, cycle int64, port, vc int, for
 	if !e.enabled[id] {
 		return
 	}
+	e.total++
 	e.perChecker[id]++
 	e.firedSet[id] = true
 	if !e.cycleSet[id] {
@@ -274,6 +276,10 @@ func (e *Engine) FirstHighRiskDetection() int64 { return e.firstHighRisk }
 
 // Detected reports whether any checker has fired.
 func (e *Engine) Detected() bool { return e.firstCycle >= 0 }
+
+// AssertionCount returns the total number of assertions raised across
+// all checkers — the quantity the metrics monitor polls per cycle.
+func (e *Engine) AssertionCount() int64 { return e.total }
 
 // CheckerCount returns the number of assertion cycles of checker id.
 func (e *Engine) CheckerCount(id CheckerID) int64 { return e.perChecker[id] }

@@ -1,0 +1,335 @@
+// Package metrics is a lightweight, dependency-free, concurrency-safe
+// telemetry registry for the simulator, the campaign engine and the
+// command-line drivers: named counters, gauges and fixed-bucket
+// histograms with deterministic snapshot and text/JSON export.
+//
+// Design constraints, in order:
+//
+//   - Zero cost when unused. Every layer that accepts a *Registry
+//     treats nil as "telemetry off" and the hot paths pay one branch.
+//   - Lock-free updates. Counter, Gauge and Histogram are updated with
+//     atomics only; the registry mutex guards instrument creation and
+//     snapshotting, never the per-event path.
+//   - Deterministic snapshots. Snapshot output is sorted by name, so
+//     two snapshots taken with no intervening writes are deeply equal
+//     and byte-identical once encoded — the property the campaign's
+//     /metricsz endpoint and the regression tests rely on.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64. The zero value is ready
+// to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the value to stay monotone; this is
+// not enforced).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down. The zero value reads 0.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d atomically (CAS loop; Set is cheaper when the old value
+// does not matter).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v with bounds[i-1] < v <= bounds[i]; one extra overflow
+// bucket counts v > bounds[len-1]. Buckets are non-cumulative.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1, last is overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// SearchFloat64s returns the smallest i with bounds[i] >= v, which
+	// is exactly the "v <= upper bound" bucket; v above every bound
+	// lands on len(bounds), the overflow bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (shared; do not mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns a copy of the per-bucket counts; the last entry
+// is the overflow bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// LinearBounds returns count upper bounds start, start+width, ...
+func LinearBounds(start, width float64, count int) []float64 {
+	if count < 1 || width <= 0 {
+		panic("metrics: LinearBounds needs count >= 1 and width > 0")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBounds returns count upper bounds start, start*factor, ...
+func ExponentialBounds(start, factor float64, count int) []float64 {
+	if count < 1 || start <= 0 || factor <= 1 {
+		panic("metrics: ExponentialBounds needs count >= 1, start > 0, factor > 1")
+	}
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Registry is a named collection of instruments. Instruments are
+// created on first use and shared thereafter; using one name for two
+// different instrument kinds (or two different histogram layouts)
+// panics, since it is a programming error no caller can recover from.
+//
+// A nil *Registry is the "telemetry off" convention used throughout the
+// repository; packages accepting a registry must nil-check before
+// resolving instruments.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+func (r *Registry) checkName(name, want string) {
+	if _, ok := r.counters[name]; ok && want != "counter" {
+		panic(fmt.Sprintf("metrics: %q already registered as a counter", name))
+	}
+	if _, ok := r.gauges[name]; ok && want != "gauge" {
+		panic(fmt.Sprintf("metrics: %q already registered as a gauge", name))
+	}
+	if _, ok := r.histograms[name]; ok && want != "histogram" {
+		panic(fmt.Sprintf("metrics: %q already registered as a histogram", name))
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkName(name, "counter")
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkName(name, "gauge")
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds (which must be strictly
+// increasing) on first use. Re-registering with different bounds
+// panics.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		if len(bounds) != len(h.bounds) {
+			panic(fmt.Sprintf("metrics: histogram %q re-registered with different bounds", name))
+		}
+		for i := range bounds {
+			if bounds[i] != h.bounds[i] {
+				panic(fmt.Sprintf("metrics: histogram %q re-registered with different bounds", name))
+			}
+		}
+		return h
+	}
+	r.checkName(name, "histogram")
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("metrics: histogram %q needs at least one bucket bound", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q bounds not strictly increasing", name))
+		}
+	}
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.histograms[name] = h
+	return h
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramValue is one histogram in a snapshot; Counts has one entry
+// per bound plus the trailing overflow bucket.
+type HistogramValue struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, sorted by name
+// within each kind.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Snapshot captures every instrument. With no concurrent writes two
+// snapshots are deeply equal; under concurrent writes each instrument
+// is read atomically but the set is not a consistent cut.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		s.Histograms = append(s.Histograms, HistogramValue{
+			Name:   name,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: h.BucketCounts(),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteText writes the snapshot in a flat `name value` text form
+// (histograms expand to _count, _sum and one `_bucket{le=...}` line per
+// bound, in the spirit of the Prometheus exposition format).
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "%s %g\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		cum := int64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%g} %d\n", h.Name, b, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=+Inf} %d\n", h.Name, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", h.Name, h.Sum, h.Name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeConcurrent hammers one counter and one gauge from
+// many goroutines; run under -race this is the registry's concurrency
+// contract (make test / the campaign acceptance gate).
+func TestCounterGaugeConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("hits")
+			g := reg.Gauge("level")
+			h := reg.Histogram("lat", []float64{1, 2, 4})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 6))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("hits").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.Gauge("level").Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %g, want %d", got, workers*perWorker)
+	}
+	if got := reg.Histogram("lat", []float64{1, 2, 4}).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the bucket semantics: upper bounds
+// are inclusive, the extra trailing bucket catches overflow.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 2, 1} // (-inf,1] (1,2] (2,4] (4,+inf)
+	if got := h.BucketCounts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("bucket counts = %v, want %v", got, want)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 17 {
+		t.Fatalf("sum = %g, want 17", h.Sum())
+	}
+}
+
+// TestSnapshotDeterministic: two snapshots with no intervening writes
+// must be deeply equal and encode to identical bytes (sorted names, no
+// map-order leakage).
+func TestSnapshotDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		reg.Counter("c_" + name).Add(3)
+		reg.Gauge("g_" + name).Set(1.5)
+		reg.Histogram("h_"+name, []float64{1, 10}).Observe(2)
+	}
+	s1, s2 := reg.Snapshot(), reg.Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("snapshots differ:\n%+v\n%+v", s1, s2)
+	}
+	var b1, b2 bytes.Buffer
+	if err := reg.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("JSON exports of identical state differ")
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &decoded); err != nil {
+		t.Fatalf("exported JSON does not round-trip: %v", err)
+	}
+	if !sorted(decoded.Counters, func(c CounterValue) string { return c.Name }) {
+		t.Fatal("counters not sorted by name")
+	}
+}
+
+func sorted[T any](xs []T, key func(T) string) bool {
+	for i := 1; i < len(xs); i++ {
+		if key(xs[i-1]) > key(xs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRegistryReuseAndMismatch: same name returns the same instrument;
+// cross-kind reuse and histogram layout changes are programming errors
+// that panic.
+func TestRegistryReuseAndMismatch(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("x") != reg.Counter("x") {
+		t.Fatal("Counter not idempotent")
+	}
+	if reg.Histogram("h", []float64{1, 2}) != reg.Histogram("h", []float64{1, 2}) {
+		t.Fatal("Histogram not idempotent")
+	}
+	mustPanic(t, "counter as gauge", func() { reg.Gauge("x") })
+	mustPanic(t, "histogram bounds mismatch", func() { reg.Histogram("h", []float64{1, 3}) })
+	mustPanic(t, "unsorted bounds", func() { reg.Histogram("bad", []float64{2, 1}) })
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+// TestBoundsHelpers pins the two bucket-layout generators.
+func TestBoundsHelpers(t *testing.T) {
+	if got, want := LinearBounds(5, 5, 3), []float64{5, 10, 15}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("LinearBounds = %v, want %v", got, want)
+	}
+	if got, want := ExponentialBounds(0.5, 2, 4), []float64{0.5, 1, 2, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("ExponentialBounds = %v, want %v", got, want)
+	}
+}
+
+// TestWriteText spot-checks the flat text exposition.
+func TestWriteText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("runs").Add(2)
+	reg.Gauge("rate").Set(3.5)
+	h := reg.Histogram("h", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(3)
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"runs 2\n", "rate 3.5\n",
+		"h_bucket{le=1} 1\n", "h_bucket{le=2} 1\n", "h_bucket{le=+Inf} 2\n",
+		"h_sum 3.5\n", "h_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text export missing %q:\n%s", want, out)
+		}
+	}
+}

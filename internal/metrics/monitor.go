@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"nocalert/internal/flit"
+	"nocalert/internal/router"
+	"nocalert/internal/sim"
+	"nocalert/internal/topology"
+)
+
+// Metric names published by Monitor. Exported so dashboards and tests
+// address instruments without stringly-typed duplication.
+const (
+	MetricSimCycles           = "sim_cycles_total"
+	MetricSimLinkFlits        = "sim_link_flits_total"
+	MetricSimFlitsEjected     = "sim_flits_ejected_total"
+	MetricSimPacketsInjected  = "sim_packets_injected_total"
+	MetricSimVAStalls         = "sim_va_stalls_total"
+	MetricSimSAStalls         = "sim_sa_stalls_total"
+	MetricSimBufOccupancy     = "sim_buffer_occupancy_flits"
+	MetricSimLinkUtilization  = "sim_link_utilization"
+	MetricSimBufOccupancyHist = "sim_buffer_occupancy_hist"
+	MetricNoCAssertions       = "noc_assertions_total"
+)
+
+// AssertionSource is the slice of the NoCAlert engine the monitor
+// polls: a monotone total of checker assertions. *core.Engine satisfies
+// it; declaring the interface here keeps metrics from importing the
+// checker fabric.
+type AssertionSource interface {
+	AssertionCount() int64
+}
+
+// Monitor is a sim.Monitor that aggregates the simulator's per-cycle
+// health signals into a Registry: link utilization, buffer occupancy,
+// VC- and switch-allocation stall counts, injection/ejection volume
+// and (when an AssertionSource is attached) NoCAlert checker-assertion
+// counts. It observes the network without perturbing it, like every
+// monitor in this repository.
+//
+// The monitor implements sim.CloneableMonitor by sharing its registry:
+// a forked network keeps feeding the same instruments, so campaign-style
+// forks aggregate rather than silently go dark. The assertion source is
+// NOT carried across a clone (each fork attaches its own engine);
+// re-attach with ObserveAssertions on the clone when needed.
+type Monitor struct {
+	reg   *Registry
+	links float64 // directed inter-router links in the mesh
+
+	cycles     *Counter
+	linkFlits  *Counter
+	ejected    *Counter
+	injected   *Counter
+	vaStalls   *Counter
+	saStalls   *Counter
+	assertions *Counter
+	occupancy  *Gauge
+	linkUtil   *Gauge
+	occHist    *Histogram
+
+	src         AssertionSource
+	lastAsserts int64
+
+	// per-cycle accumulators, reset in EndCycle
+	curOcc  int64
+	curLink int64
+}
+
+// NewMonitor returns a monitor publishing into reg. cfg supplies the
+// mesh (for the link-utilization denominator) and buffer dimensions
+// (for the occupancy histogram layout).
+func NewMonitor(reg *Registry, cfg *router.Config) *Monitor {
+	links := 0
+	for id := 0; id < cfg.Mesh.Nodes(); id++ {
+		for d := topology.North; d < topology.NumPorts; d++ {
+			if d != topology.Local && cfg.Mesh.HasPort(id, d) {
+				links++
+			}
+		}
+	}
+	if links == 0 {
+		links = 1 // 1×1 mesh: avoid dividing by zero
+	}
+	// Occupancy buckets: ten linear slices of the fabric's total buffer
+	// capacity, so the histogram reads as "how full was the network".
+	capacity := cfg.Mesh.Nodes() * router.P * cfg.VCs * cfg.BufDepth
+	width := float64(capacity) / 10
+	if width < 1 {
+		width = 1
+	}
+	m := &Monitor{
+		reg:        reg,
+		links:      float64(links),
+		cycles:     reg.Counter(MetricSimCycles),
+		linkFlits:  reg.Counter(MetricSimLinkFlits),
+		ejected:    reg.Counter(MetricSimFlitsEjected),
+		injected:   reg.Counter(MetricSimPacketsInjected),
+		vaStalls:   reg.Counter(MetricSimVAStalls),
+		saStalls:   reg.Counter(MetricSimSAStalls),
+		assertions: reg.Counter(MetricNoCAssertions),
+		occupancy:  reg.Gauge(MetricSimBufOccupancy),
+		linkUtil:   reg.Gauge(MetricSimLinkUtilization),
+		occHist:    reg.Histogram(MetricSimBufOccupancyHist, LinearBounds(width, width, 10)),
+	}
+	return m
+}
+
+// Registry returns the registry the monitor publishes into.
+func (m *Monitor) Registry() *Registry { return m.reg }
+
+// ObserveAssertions attaches the NoCAlert engine (or any assertion
+// source) so checker assertions flow into noc_assertions_total. The
+// source must be attached to the same network and must only grow its
+// count.
+func (m *Monitor) ObserveAssertions(src AssertionSource) {
+	m.src = src
+	if src != nil {
+		m.lastAsserts = src.AssertionCount()
+	}
+}
+
+// RouterCycle implements sim.Monitor.
+func (m *Monitor) RouterCycle(r *router.Router, s *router.Signals) {
+	m.curOcc += int64(s.BufferOccupancy())
+	m.curLink += int64(s.LinkFlits())
+	if n := s.VAStalls(); n > 0 {
+		m.vaStalls.Add(int64(n))
+	}
+	if n := s.SAStalls(); n > 0 {
+		m.saStalls.Add(int64(n))
+	}
+}
+
+// PacketInjected implements sim.Monitor.
+func (m *Monitor) PacketInjected(cycle int64, node int, p *flit.Packet) {
+	m.injected.Inc()
+}
+
+// FlitEjected implements sim.Monitor.
+func (m *Monitor) FlitEjected(cycle int64, node int, f *flit.Flit) {
+	m.ejected.Inc()
+}
+
+// EndCycle implements sim.Monitor: it closes the cycle's aggregates.
+func (m *Monitor) EndCycle(cycle int64) {
+	m.cycles.Inc()
+	m.linkFlits.Add(m.curLink)
+	m.occupancy.Set(float64(m.curOcc))
+	m.occHist.Observe(float64(m.curOcc))
+	m.linkUtil.Set(float64(m.curLink) / m.links)
+	if m.src != nil {
+		if now := m.src.AssertionCount(); now > m.lastAsserts {
+			m.assertions.Add(now - m.lastAsserts)
+			m.lastAsserts = now
+		}
+	}
+	m.curOcc, m.curLink = 0, 0
+}
+
+// CloneMonitor implements sim.CloneableMonitor: the clone shares the
+// registry and instruments (forked networks aggregate into the same
+// counters) but starts with fresh per-cycle accumulators and no
+// assertion source.
+func (m *Monitor) CloneMonitor() sim.Monitor {
+	c := *m
+	c.src = nil
+	c.lastAsserts = 0
+	c.curOcc, c.curLink = 0, 0
+	return &c
+}

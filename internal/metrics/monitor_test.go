@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"testing"
+
+	"nocalert/internal/core"
+	"nocalert/internal/fault"
+	"nocalert/internal/router"
+	"nocalert/internal/sim"
+	"nocalert/internal/topology"
+)
+
+var _ sim.CloneableMonitor = (*Monitor)(nil)
+
+// TestMonitorCountsTraffic attaches the monitor to a loaded 4×4 mesh
+// and checks every instrument moves in the right direction.
+func TestMonitorCountsTraffic(t *testing.T) {
+	mesh := topology.NewMesh(4, 4)
+	rc := router.Default(mesh)
+	n := sim.MustNew(sim.Config{Router: rc, InjectionRate: 0.2, Seed: 1}, nil)
+	reg := NewRegistry()
+	m := NewMonitor(reg, &rc)
+	eng := core.NewEngine(&rc, core.Options{})
+	n.AttachMonitor(eng)
+	n.AttachMonitor(m)
+	m.ObserveAssertions(eng)
+
+	const cycles = 300
+	n.Run(cycles)
+
+	if got := reg.Counter(MetricSimCycles).Value(); got != cycles {
+		t.Fatalf("%s = %d, want %d", MetricSimCycles, got, cycles)
+	}
+	if got := reg.Counter(MetricSimLinkFlits).Value(); got <= 0 {
+		t.Fatalf("%s = %d, want > 0 under load", MetricSimLinkFlits, got)
+	}
+	if got := reg.Counter(MetricSimPacketsInjected).Value(); got != n.PacketsOffered() {
+		t.Fatalf("%s = %d, want %d (network's own count)", MetricSimPacketsInjected, got, n.PacketsOffered())
+	}
+	if got := reg.Counter(MetricSimFlitsEjected).Value(); got != n.FlitsEjected() {
+		t.Fatalf("%s = %d, want %d (network's own count)", MetricSimFlitsEjected, got, n.FlitsEjected())
+	}
+	snap := reg.Snapshot()
+	foundHist := false
+	for _, h := range snap.Histograms {
+		if h.Name == MetricSimBufOccupancyHist {
+			foundHist = true
+			if h.Count != cycles {
+				t.Fatalf("%s count = %d, want %d", MetricSimBufOccupancyHist, h.Count, cycles)
+			}
+		}
+	}
+	if !foundHist {
+		t.Fatalf("snapshot is missing %s", MetricSimBufOccupancyHist)
+	}
+	if util := reg.Gauge(MetricSimLinkUtilization).Value(); util < 0 || util > 1 {
+		t.Fatalf("%s = %g, want within [0,1]", MetricSimLinkUtilization, util)
+	}
+	// A fault-free network must raise zero assertions.
+	if got := reg.Counter(MetricNoCAssertions).Value(); got != 0 {
+		t.Fatalf("%s = %d on a fault-free run, want 0", MetricNoCAssertions, got)
+	}
+}
+
+// TestMonitorSeesAssertions injects a permanent arbiter fault and
+// checks the assertion counter mirrors the engine's total.
+func TestMonitorSeesAssertions(t *testing.T) {
+	mesh := topology.NewMesh(3, 3)
+	rc := router.Default(mesh)
+	params := fault.Params{Mesh: mesh, VCs: rc.VCs, BufDepth: rc.BufDepth}
+	var f fault.Fault
+	found := false
+	for _, s := range params.EnumerateSites() {
+		if s.Kind == fault.SA1Gnt {
+			f = fault.Fault{Site: s, Bit: 0, Cycle: 50, Type: fault.Permanent}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no SA1Gnt site")
+	}
+	plane := fault.NewPlane(f)
+	n := sim.MustNew(sim.Config{Router: rc, InjectionRate: 0.2, Seed: 2}, plane)
+	reg := NewRegistry()
+	m := NewMonitor(reg, &rc)
+	eng := core.NewEngine(&rc, core.Options{})
+	n.AttachMonitor(eng)
+	n.AttachMonitor(m)
+	m.ObserveAssertions(eng)
+	n.Run(400)
+
+	if eng.AssertionCount() == 0 {
+		t.Fatal("permanent SA1 grant fault raised no assertions; test premise broken")
+	}
+	if got := reg.Counter(MetricNoCAssertions).Value(); got != eng.AssertionCount() {
+		t.Fatalf("%s = %d, want engine total %d", MetricNoCAssertions, got, eng.AssertionCount())
+	}
+}
+
+// TestMonitorSurvivesClone: the monitor must be carried across
+// Network.Clone (it implements CloneableMonitor) and keep feeding the
+// shared registry from the fork.
+func TestMonitorSurvivesClone(t *testing.T) {
+	mesh := topology.NewMesh(3, 3)
+	rc := router.Default(mesh)
+	n := sim.MustNew(sim.Config{Router: rc, InjectionRate: 0.15, Seed: 3}, nil)
+	reg := NewRegistry()
+	n.AttachMonitor(NewMonitor(reg, &rc))
+	n.Run(100)
+
+	c := n.Clone(nil)
+	if len(c.Monitors()) != 1 {
+		t.Fatalf("clone carried %d monitors, want 1", len(c.Monitors()))
+	}
+	before := reg.Counter(MetricSimCycles).Value()
+	c.Run(50)
+	if got := reg.Counter(MetricSimCycles).Value(); got != before+50 {
+		t.Fatalf("clone's monitor advanced %s to %d, want %d", MetricSimCycles, got, before+50)
+	}
+}

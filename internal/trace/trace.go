@@ -88,6 +88,26 @@ func (p *PathMonitor) RouterCycle(r *router.Router, s *router.Signals) {
 	}
 }
 
+// CloneMonitor implements sim.CloneableMonitor by deep-copying the
+// recorded paths and in-flight entry table, so a forked network (a
+// campaign run, an A/B continuation) keeps observing instead of
+// silently going dark — monitors that do not implement the interface
+// are dropped by Network.Clone.
+func (p *PathMonitor) CloneMonitor() sim.Monitor {
+	c := &PathMonitor{
+		MaxPackets: p.MaxPackets,
+		paths:      make(map[uint64][]Hop, len(p.paths)),
+		entry:      make(map[packetAt]topology.Direction, len(p.entry)),
+	}
+	for id, hops := range p.paths {
+		c.paths[id] = append([]Hop(nil), hops...)
+	}
+	for k, v := range p.entry {
+		c.entry[k] = v
+	}
+	return c
+}
+
 // Path returns the recorded hops of a packet, in traversal order.
 func (p *PathMonitor) Path(pkt uint64) []Hop {
 	hops := append([]Hop(nil), p.paths[pkt]...)
@@ -164,4 +184,10 @@ type EjectionEvent struct {
 // FlitEjected implements sim.Monitor.
 func (l *EventLog) FlitEjected(cycle int64, node int, f *flit.Flit) {
 	l.Ejections = append(l.Ejections, EjectionEvent{Cycle: cycle, Node: node, Flit: *f})
+}
+
+// CloneMonitor implements sim.CloneableMonitor: the clone starts from a
+// copy of the log so far and diverges independently from the fork.
+func (l *EventLog) CloneMonitor() sim.Monitor {
+	return &EventLog{Ejections: append([]EjectionEvent(nil), l.Ejections...)}
 }

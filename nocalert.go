@@ -43,6 +43,7 @@ package nocalert
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"nocalert/internal/campaign"
@@ -52,6 +53,7 @@ import (
 	"nocalert/internal/forever"
 	"nocalert/internal/golden"
 	"nocalert/internal/hwmodel"
+	"nocalert/internal/metrics"
 	"nocalert/internal/recovery"
 	"nocalert/internal/router"
 	"nocalert/internal/routing"
@@ -364,6 +366,63 @@ func NewPathMonitor() *PathMonitor { return trace.NewPathMonitor() }
 func ValidatePath(m Mesh, hops []Hop, src, dest int) error {
 	return trace.ValidatePath(m, hops, src, dest)
 }
+
+// ---- Telemetry ----
+
+// MetricsRegistry is a concurrency-safe registry of counters, gauges
+// and histograms; snapshot it with Snapshot, WriteJSON or WriteText.
+type MetricsRegistry = metrics.Registry
+
+// MetricsCounter is a monotonically increasing counter.
+type MetricsCounter = metrics.Counter
+
+// MetricsGauge is a last-value float64 gauge.
+type MetricsGauge = metrics.Gauge
+
+// MetricsHistogram is a fixed-bucket histogram.
+type MetricsHistogram = metrics.Histogram
+
+// MetricsSnapshot is a point-in-time, deterministically ordered copy of
+// a registry's instruments.
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// MetricsMonitor publishes per-cycle simulator telemetry (link
+// utilization, buffer occupancy, allocator stalls, checker assertions)
+// into a registry; attach it with AttachMonitor. It survives network
+// clones.
+type MetricsMonitor = metrics.Monitor
+
+// NewMetricsMonitor returns a simulator telemetry monitor for networks
+// built on cfg, publishing into reg.
+func NewMetricsMonitor(reg *MetricsRegistry, cfg *RouterConfig) *MetricsMonitor {
+	return metrics.NewMonitor(reg, cfg)
+}
+
+// Campaign metric names published when CampaignOptions.Metrics is set
+// (the full list lives beside the campaign engine).
+const (
+	MetricCampaignRuns         = campaign.MetricRuns
+	MetricCampaignFaultsPerSec = campaign.MetricFaultsPerSec
+	MetricCampaignFastPathHits = campaign.MetricFastPathHits
+	MetricCampaignRunSeconds   = campaign.MetricRunSeconds
+)
+
+// RunTraceRecord is one NDJSON line of a campaign run trace (the
+// faultcampaign -trace format).
+type RunTraceRecord = trace.RunRecord
+
+// RunTraceWriter streams RunTraceRecords as NDJSON.
+type RunTraceWriter = trace.RunWriter
+
+// NewRunTraceWriter returns a writer streaming NDJSON records to w.
+func NewRunTraceWriter(w io.Writer) *RunTraceWriter { return trace.NewRunWriter(w) }
+
+// ReadRunTrace parses an NDJSON run trace, tolerating a truncated final
+// line (the shape an interrupted campaign leaves behind).
+func ReadRunTrace(r io.Reader) ([]RunTraceRecord, error) { return trace.ReadRunRecords(r) }
 
 // ---- Diagnosis (extension: detection → localization) ----
 
