@@ -4,15 +4,33 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+# The golden campaign: the spec behind testdata/golden_4x4_seed3.json,
+# the CI shard matrix and `make shardcheck`. Keep all four in sync.
+GOLDEN_FLAGS = -mesh 4x4 -vcs 4 -rate 0.12 -seed 3 -inject 300 -post 400 \
+	-drain 5000 -epoch 400 -faults 96
+
+.PHONY: all build fmt vet lint test race bench ci golden shardcheck
 
 all: ci
 
 build:
 	$(GO) build ./...
 
+# fmt fails (listing the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 vet:
 	$(GO) vet ./...
+
+# lint = formatting + vet, plus staticcheck when it is installed (the
+# CI image may not carry it; the gate must not depend on a download).
+lint: fmt vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (go vet ran)"; fi
 
 # test also vets and race-checks the telemetry packages — they are
 # quick under -race, unlike the full campaign suite (see race).
@@ -29,11 +47,30 @@ race:
 
 # Campaign throughput baseline (faults/sec, ns/fault, allocs/fault),
 # plus a timestamped record appended to BENCH_4x4.json so the perf
-# trajectory accumulates across revisions.
+# trajectory accumulates across revisions (the file is created on
+# first run — a fresh clone works). Format: see EXPERIMENTS.md.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkCampaignRun -benchtime 3x .
 	$(GO) run ./cmd/faultcampaign -mesh 4x4 -rate 0.12 -inject 300 -post 400 \
 		-drain 5000 -epoch 400 -faults 160 -seed 3 -fig none \
 		-progress=false -benchjson BENCH_4x4.json
 
-ci: vet build test race
+# golden regenerates testdata/golden_4x4_seed3.json after an
+# intentional behaviour change; commit the diff it produces.
+golden:
+	$(GO) test ./internal/campaign -run TestGoldenFixture -update-golden -v
+
+# shardcheck reproduces the CI merge gate locally: run the golden
+# campaign as 4 independent shards, merge the checkpoints, and require
+# the result to be bit-identical to the committed fixture.
+shardcheck:
+	rm -rf .shardcheck && mkdir -p .shardcheck
+	for i in 0 1 2 3; do \
+		$(GO) run ./cmd/faultcampaign $(GOLDEN_FLAGS) -progress=false \
+			-shard $$i/4 -checkpoint .shardcheck/shard$$i.ndjson || exit 1; \
+	done
+	$(GO) run ./cmd/faultcampaign merge -fig none \
+		-golden testdata/golden_4x4_seed3.json .shardcheck/shard*.ndjson
+	rm -rf .shardcheck
+
+ci: lint build test race

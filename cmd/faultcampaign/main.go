@@ -46,6 +46,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("faultcampaign: ")
+	if len(os.Args) > 1 && os.Args[1] == "merge" {
+		mergeMain(os.Args[2:])
+		return
+	}
 	var (
 		meshSpec = flag.String("mesh", "8x8", "mesh dimensions WxH")
 		vcs      = flag.Int("vcs", 4, "virtual channels per port")
@@ -64,6 +68,9 @@ func main() {
 		progress = flag.Bool("progress", true, "print campaign progress to stderr")
 		telAddr  = flag.String("telemetry", "", "serve live telemetry on this address (pprof at /debug/pprof/, expvar at /debug/vars, metrics at /metricsz)")
 		traceOut = flag.String("trace", "", "stream one NDJSON record per completed fault run to this file")
+		shardStr = flag.String("shard", "", "run only shard i/N of the campaign (0-based, e.g. 0/4) against a resumable checkpoint; requires -checkpoint")
+		ckptPath = flag.String("checkpoint", "", "shard checkpoint file (NDJSON); an existing one is resumed, a finished one is a no-op")
+		verifyN  = flag.Int("verify-resumed", 0, "recorded runs to re-execute and compare when resuming a checkpoint (0 = default sample, -1 = none)")
 	)
 	flag.Parse()
 
@@ -106,6 +113,33 @@ func main() {
 		fmt.Printf("telemetry: http://%s/metricsz (pprof /debug/pprof/, expvar /debug/vars)\n", addr)
 	}
 
+	if *shardStr != "" {
+		if *ckptPath == "" {
+			log.Fatal("-shard requires -checkpoint FILE")
+		}
+		if *traceOut != "" || *jsonPath != "" || *benchOut != "" {
+			log.Fatal("-shard is incompatible with -trace, -json and -benchjson; finalize the shards and use `faultcampaign merge`")
+		}
+		spec := nocalert.CampaignSpec{
+			MeshW: mesh.W, MeshH: mesh.H, VCs: *vcs,
+			InjectionRate: *rate,
+			Seed:          *seed,
+			InjectCycle:   *inject,
+			PostInjectRun: *post,
+			DrainDeadline: *drain,
+			Epoch:         *epoch,
+			HopLatency:    1,
+			NumFaults:     *nFaults,
+		}
+		if err := runShardMode(ctx, spec, *shardStr, *ckptPath, *workers, *noFast, *verifyN, *progress, reg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *ckptPath != "" {
+		log.Fatal("-checkpoint requires -shard i/N (use -shard 0/1 to checkpoint a whole campaign)")
+	}
+
 	var onResult func(i int, res *nocalert.CampaignResult, wall time.Duration, fast bool)
 	var tw *nocalert.RunTraceWriter
 	var traceFile *os.File
@@ -116,7 +150,7 @@ func main() {
 		}
 		tw = nocalert.NewRunTraceWriter(traceFile)
 		onResult = func(i int, res *nocalert.CampaignResult, wall time.Duration, fast bool) {
-			rec := toRunRecord(i, res, wall, fast)
+			rec := nocalert.CampaignRunRecord(i, res, wall, fast)
 			if err := tw.Write(&rec); err != nil {
 				log.Fatalf("trace: %v", err)
 			}
@@ -181,35 +215,7 @@ func main() {
 		fmt.Printf("throughput record appended to %s\n\n", *benchOut)
 	}
 
-	if all || want["6"] {
-		rep.WriteFig6(os.Stdout)
-		fmt.Println()
-	}
-	if all || want["7"] {
-		rep.WriteFig7(os.Stdout)
-		writeFig7CDF(rep)
-		fmt.Println()
-	}
-	if all || want["8"] {
-		rep.WriteFig8(os.Stdout)
-		fmt.Println()
-	}
-	if all || want["9"] {
-		rep.WriteFig9(os.Stdout)
-		fmt.Println()
-	}
-	if all || want["obs5"] {
-		rep.WriteObs5(os.Stdout)
-		fmt.Println()
-	}
-	if all || want["recovery"] {
-		rep.WriteRecoveryExposure(os.Stdout)
-		fmt.Println()
-	}
-	if want["heatmap"] {
-		rep.WriteHeatmaps(os.Stdout)
-		fmt.Println()
-	}
+	printFigures(rep, *figs)
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
@@ -329,39 +335,6 @@ func serveTelemetry(addr string, reg *nocalert.MetricsRegistry) (string, error) 
 		}
 	}()
 	return ln.Addr().String(), nil
-}
-
-// toRunRecord flattens one campaign result into the NDJSON trace
-// schema; detection latencies are -1 when the mechanism never fired.
-func toRunRecord(i int, res *nocalert.CampaignResult, wall time.Duration, fast bool) nocalert.RunTraceRecord {
-	lat := func(detected bool, l int64) int64 {
-		if !detected {
-			return -1
-		}
-		return l
-	}
-	return nocalert.RunTraceRecord{
-		Index:           i,
-		Router:          res.Fault.Site.Router,
-		Signal:          res.Fault.Site.Kind.String(),
-		Port:            res.Fault.Site.Port,
-		VC:              res.Fault.Site.VC,
-		Bit:             res.Fault.Bit,
-		FaultType:       res.Fault.Type.String(),
-		Cycle:           res.Fault.Cycle,
-		Fired:           res.Fired,
-		Drained:         res.Drained,
-		FastPath:        fast,
-		Malicious:       !res.Verdict.OK(),
-		Unbounded:       res.Verdict.Unbounded,
-		Outcome:         res.Outcome.String(),
-		Latency:         lat(res.Detected, res.Latency),
-		CautiousOutcome: res.CautiousOutcome.String(),
-		CautiousLatency: lat(res.CautiousDetected, res.CautiousLatency),
-		ForeverOutcome:  res.ForeverOutcome.String(),
-		ForeverLatency:  lat(res.ForeverDetected, res.ForeverLatency),
-		WallSeconds:     wall.Seconds(),
-	}
 }
 
 // benchRecord is the throughput measurement -benchjson emits, so perf

@@ -1,0 +1,259 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"nocalert"
+	"nocalert/internal/stats"
+)
+
+// parseShardFlag parses "-shard i/N" (0-based index).
+func parseShardFlag(s string) (i, n int, err error) {
+	if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d/%d", &i, &n); err != nil {
+		return 0, 0, fmt.Errorf("invalid -shard %q (want i/N, e.g. 0/4)", s)
+	}
+	if n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("invalid -shard %d/%d (index must be 0-based and < N)", i, n)
+	}
+	return i, n, nil
+}
+
+// runShardMode executes one shard of the campaign against a resumable
+// checkpoint file. Figures are not printed here — a shard is a partial
+// campaign; fold the finalized checkpoints with `faultcampaign merge`.
+func runShardMode(ctx context.Context, spec nocalert.CampaignSpec, shard, path string, workers int, noFast bool, verifyResumed int, progress bool, reg *nocalert.MetricsRegistry) error {
+	idx, n, err := parseShardFlag(shard)
+	if err != nil {
+		return err
+	}
+	sh, err := nocalert.PlanCampaignShard(spec, idx, n)
+	if err != nil {
+		return err
+	}
+	m, err := sh.Manifest()
+	if err != nil {
+		return err
+	}
+	cp, completed, err := nocalert.ResumeCheckpoint(path, m)
+	if err != nil {
+		return err
+	}
+	defer cp.Close()
+	fmt.Printf("shard %d/%d: fault indices [%d,%d) of the %d-fault universe; checkpoint %s holds %d recorded runs\n",
+		idx, n, sh.Start, sh.End, len(spec.Universe()), path, len(completed))
+
+	var report func(done, total int)
+	if progress {
+		lastBucket := -1
+		report = func(done, total int) {
+			pct := done * 100 / total
+			if bucket := pct / 5; bucket > lastBucket || done == total {
+				lastBucket = bucket
+				line := fmt.Sprintf("\rshard %d/%d: %d/%d runs (%d%%)", idx, n, done, total, pct)
+				if fps := reg.Gauge(nocalert.MetricCampaignFaultsPerSec).Value(); fps > 0 && done < total {
+					eta := time.Duration(float64(total-done) / fps * float64(time.Second))
+					line += fmt.Sprintf(" | %.1f faults/sec, ETA %s", fps, eta.Round(time.Second))
+				}
+				fmt.Fprint(os.Stderr, line)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+
+	start := time.Now()
+	st, err := nocalert.RunCampaignShard(sh, cp, completed, nocalert.CampaignShardRunOptions{
+		Workers:         workers,
+		DisableFastPath: noFast,
+		Progress:        report,
+		Metrics:         reg,
+		Context:         ctx,
+		VerifyResumed:   verifyResumed,
+	})
+	if progress && report != nil {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		return fmt.Errorf("shard %d/%d: %w (checkpoint %s keeps the %d completed runs)", idx, n, err, path, st.Resumed+st.Executed)
+	}
+	fmt.Printf("shard %d/%d: %d/%d runs in %v (%d resumed from checkpoint, %d of those re-executed and verified, %d newly executed, %d fast-path exits)\n",
+		idx, n, st.Resumed+st.Executed, st.Total, time.Since(start).Round(time.Millisecond),
+		st.Resumed, st.Verified, st.Executed, st.FastPathHits)
+	if !st.Complete {
+		return fmt.Errorf("shard %d/%d did not complete", idx, n)
+	}
+	if err := cp.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint finalized: %s\n", path)
+	return nil
+}
+
+// mergeMain is the `faultcampaign merge` subcommand: fold finalized
+// shard checkpoints into the aggregated campaign report.
+func mergeMain(args []string) {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	var (
+		out        = fs.String("out", "", "write the merged aggregated report as JSON to this file")
+		goldenPath = fs.String("golden", "", "compare the merged records against this committed fixture; exit non-zero on drift")
+		figs       = fs.String("fig", "all", "figures to print: comma list of 6,7,8,9,obs5 or 'all' or 'none'")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: faultcampaign merge [flags] shard0.ndjson shard1.ndjson ...")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	var shards []*nocalert.CheckpointData
+	for _, p := range paths {
+		cd, err := nocalert.ReadCheckpointFile(p)
+		if err != nil {
+			log.Fatalf("merge: %s: %v", p, err)
+		}
+		shards = append(shards, cd)
+	}
+	merged, err := nocalert.MergeCampaignShards(shards)
+	if err != nil {
+		log.Fatalf("merge: %v", err)
+	}
+	fmt.Printf("merged %d shards: %d records, checksum %s\n\n",
+		merged.Shards, len(merged.Records), nocalert.SumRunRecords(merged.Records))
+	writeShardSummary(shards)
+
+	rep, err := merged.Report()
+	if err != nil {
+		log.Fatalf("merge: %v", err)
+	}
+	printFigures(rep, *figs)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("JSON results written to %s\n\n", *out)
+	}
+	if *goldenPath != "" {
+		data, err := os.ReadFile(*goldenPath)
+		if err != nil {
+			log.Fatalf("merge: golden fixture: %v", err)
+		}
+		golden, err := nocalert.ReadCampaignFixture(bytes.NewReader(data))
+		if err != nil {
+			log.Fatalf("merge: %s: %v", *goldenPath, err)
+		}
+		got := nocalert.NewCampaignFixture(merged.Spec, merged.Records)
+		if diffs := golden.Diff(got); len(diffs) != 0 {
+			for _, d := range diffs {
+				fmt.Fprintln(os.Stderr, d)
+			}
+			log.Fatalf("merge: merged output diverges from golden fixture %s (%d diff(s))", *goldenPath, len(diffs))
+		}
+		fmt.Printf("golden check: merged records are bit-identical to %s\n", *goldenPath)
+	}
+}
+
+// writeShardSummary prints the per-shard outcome breakdown and folds
+// the per-shard accumulators (tallies, latency CDFs) into campaign
+// totals with the mergeable reducers the merge gate relies on.
+func writeShardSummary(shards []*nocalert.CheckpointData) {
+	t := stats.NewTable("Per-shard summary (NoCAlert outcomes)",
+		"Shard", "Faults", "TP", "FP", "TN", "FN", "Fast-path", "Wall (s)")
+	var total stats.Tally
+	var cdfs []*stats.CDF
+	var totalFast int
+	var totalWall float64
+	for _, sd := range shards {
+		var tl stats.Tally
+		var lat []int64
+		fast := 0
+		wall := 0.0
+		for i := range sd.Records {
+			rec := &sd.Records[i]
+			tl.Add(rec.Outcome, 1)
+			if rec.Outcome == "TP" {
+				lat = append(lat, rec.Latency)
+			}
+			if rec.FastPath {
+				fast++
+			}
+			wall += rec.WallSeconds
+		}
+		t.AddRow(fmt.Sprintf("%d/%d [%d,%d)", sd.Manifest.Shard, sd.Manifest.Shards, sd.Manifest.Start, sd.Manifest.End),
+			int64(len(sd.Records)), tl.Get("TP"), tl.Get("FP"), tl.Get("TN"), tl.Get("FN"),
+			int64(fast), fmt.Sprintf("%.2f", wall))
+		total.Merge(&tl)
+		cdfs = append(cdfs, stats.NewCDF(lat))
+		totalFast += fast
+		totalWall += wall
+	}
+	t.AddRow("merged", total.Total(), total.Get("TP"), total.Get("FP"), total.Get("TN"), total.Get("FN"),
+		int64(totalFast), fmt.Sprintf("%.2f", totalWall))
+	t.Render(os.Stdout)
+	if cdf := stats.MergeCDFs(cdfs...); cdf.N() > 0 {
+		fmt.Printf("NoCAlert detection latency over %d true positives: p50=%d p95=%d max=%d cycles\n",
+			cdf.N(), cdf.Percentile(0.50), cdf.Percentile(0.95), cdf.Max())
+	}
+	fmt.Println()
+}
+
+// printFigures renders the figure selection against a report (shared
+// by the unsharded path and the merge subcommand).
+func printFigures(rep *nocalert.CampaignReport, figs string) {
+	want := map[string]bool{}
+	for _, f := range strings.Split(figs, ",") {
+		want[strings.TrimSpace(strings.ToLower(f))] = true
+	}
+	if want["none"] {
+		return
+	}
+	all := want["all"]
+	if all || want["6"] {
+		rep.WriteFig6(os.Stdout)
+		fmt.Println()
+	}
+	if all || want["7"] {
+		rep.WriteFig7(os.Stdout)
+		writeFig7CDF(rep)
+		fmt.Println()
+	}
+	if all || want["8"] {
+		rep.WriteFig8(os.Stdout)
+		fmt.Println()
+	}
+	if all || want["9"] {
+		rep.WriteFig9(os.Stdout)
+		fmt.Println()
+	}
+	if all || want["obs5"] {
+		rep.WriteObs5(os.Stdout)
+		fmt.Println()
+	}
+	if all || want["recovery"] {
+		rep.WriteRecoveryExposure(os.Stdout)
+		fmt.Println()
+	}
+	if want["heatmap"] {
+		rep.WriteHeatmaps(os.Stdout)
+		fmt.Println()
+	}
+}

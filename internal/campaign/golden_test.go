@@ -1,0 +1,73 @@
+package campaign
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "regenerate testdata/golden_4x4_seed3.json")
+
+const goldenPath = "../../testdata/golden_4x4_seed3.json"
+
+// GoldenSpec is the campaign the committed fixture pins: the standard
+// 4x4 test configuration with a 96-fault universe (24 per CI shard).
+// The CI matrix runs exactly this spec as 4 shards and the merge step
+// compares against the same fixture this test enforces.
+func GoldenSpec() Spec {
+	return Spec{
+		MeshW: 4, MeshH: 4, VCs: 4,
+		InjectionRate: 0.12,
+		Seed:          3,
+		InjectCycle:   300,
+		PostInjectRun: 400,
+		DrainDeadline: 5000,
+		Epoch:         400,
+		HopLatency:    1,
+		NumFaults:     96,
+	}
+}
+
+// TestGoldenFixture4x4 regenerates the golden campaign and fails if
+// any fault's verdict, outcome, latency or checker attribution drifted
+// from the committed fixture. Run `make golden` (go test -run
+// TestGoldenFixture -update-golden) after an intentional behaviour
+// change and commit the diff.
+func TestGoldenFixture4x4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	spec := GoldenSpec()
+	got := NewFixture(spec, unshardedRecords(t, spec))
+
+	if *updateGolden {
+		f, err := os.Create(goldenPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d records)", goldenPath, len(got.Records))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("no golden fixture (run `make golden` to create it): %v", err)
+	}
+	golden, err := ReadFixture(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := golden.Diff(got); len(diffs) != 0 {
+		for _, d := range diffs {
+			t.Error(d)
+		}
+		t.Fatalf("%d fault(s) drifted from the golden fixture; if intentional, run `make golden` and commit", len(diffs))
+	}
+}

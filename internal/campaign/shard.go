@@ -1,0 +1,183 @@
+package campaign
+
+// This file splits one campaign into N self-describing, independently
+// executable shards. The partition is purely arithmetic over the
+// deterministic fault universe — shard i of N covers global fault
+// indices [i*total/N, (i+1)*total/N) — so for any N the shards tile
+// the identical universe with no overlap and no gaps, and any shard
+// can be planned (or re-planned after a crash) without coordination.
+// Because every run forks from the same warmed base state and the
+// universe is sampled once from the spec's seed (never per shard),
+// shard boundaries and execution order cannot change any run's result:
+// merging all shards reproduces the unsharded report bit for bit.
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"nocalert/internal/fault"
+	"nocalert/internal/forever"
+	"nocalert/internal/router"
+	"nocalert/internal/sim"
+	"nocalert/internal/topology"
+	"nocalert/internal/trace"
+)
+
+// Spec is the complete, serializable description of a campaign: the
+// mesh, workload, fault universe and run parameters. Two processes
+// holding equal Specs derive the identical fault universe and produce
+// identical run records, which is what makes shards self-describing —
+// a checkpoint's embedded Spec is all a merger needs.
+type Spec struct {
+	MeshW         int     `json:"mesh_w"`
+	MeshH         int     `json:"mesh_h"`
+	VCs           int     `json:"vcs"`
+	InjectionRate float64 `json:"injection_rate"`
+	Seed          uint64  `json:"seed"`
+	InjectCycle   int64   `json:"inject_cycle"`
+	PostInjectRun int64   `json:"post_inject_run"`
+	DrainDeadline int64   `json:"drain_deadline"`
+	Epoch         int64   `json:"epoch"`
+	HopLatency    int64   `json:"hop_latency"`
+	// NumFaults is the sample size drawn from the universe (0 = every
+	// single-bit location).
+	NumFaults int `json:"num_faults"`
+}
+
+// Validate rejects specs that cannot describe a campaign.
+func (s *Spec) Validate() error {
+	if s.MeshW < 1 || s.MeshH < 1 {
+		return fmt.Errorf("campaign: invalid mesh %dx%d", s.MeshW, s.MeshH)
+	}
+	if s.VCs < 1 {
+		return fmt.Errorf("campaign: invalid VC count %d", s.VCs)
+	}
+	if s.InjectionRate < 0 || s.InjectionRate > 1 {
+		return fmt.Errorf("campaign: invalid injection rate %g", s.InjectionRate)
+	}
+	if s.NumFaults < 0 {
+		return fmt.Errorf("campaign: invalid fault count %d", s.NumFaults)
+	}
+	return nil
+}
+
+// RouterConfig returns the router micro-architecture the spec fixes.
+func (s *Spec) RouterConfig() router.Config {
+	rc := router.Default(topology.NewMesh(s.MeshW, s.MeshH))
+	rc.VCs = s.VCs
+	return rc
+}
+
+// Options expands the spec into campaign options (without faults).
+func (s *Spec) Options() Options {
+	rc := s.RouterConfig()
+	return Options{
+		Sim:           sim.Config{Router: rc, InjectionRate: s.InjectionRate, Seed: s.Seed},
+		InjectCycle:   s.InjectCycle,
+		PostInjectRun: s.PostInjectRun,
+		DrainDeadline: s.DrainDeadline,
+		Forever:       forever.Options{Epoch: s.Epoch, HopLatency: s.HopLatency},
+	}
+}
+
+// Universe returns the spec's full fault list. The draw depends only
+// on the spec — crucially never on shard count or execution order —
+// so every shard slices the same list.
+func (s *Spec) Universe() []fault.Fault {
+	rc := s.RouterConfig()
+	params := fault.Params{Mesh: rc.Mesh, VCs: rc.VCs, BufDepth: rc.BufDepth}
+	return SampleFaults(params, s.NumFaults, s.Seed, s.InjectCycle)
+}
+
+// Hash fingerprints the spec (FNV-1a over its canonical JSON).
+func (s *Spec) Hash() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(fmt.Sprintf("campaign: spec marshal: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// UniverseHash fingerprints the exact fault list the spec expands to,
+// so a merger can prove two shards partitioned the same universe even
+// if the enumeration code changed between their runs.
+func UniverseHash(faults []fault.Fault) string {
+	h := fnv.New64a()
+	for i := range faults {
+		f := &faults[i]
+		fmt.Fprintf(h, "%d/%d/%d/%d/%d/%d/%d;",
+			f.Site.Router, int(f.Site.Kind), f.Site.Port, f.Site.VC, f.Bit, f.Cycle, int(f.Type))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ShardRange returns the global index range [lo, hi) shard i of n
+// covers over a universe of the given total size. For every n the
+// ranges tile [0, total) exactly: contiguous, disjoint, no gaps.
+func ShardRange(total, i, n int) (lo, hi int) {
+	return i * total / n, (i + 1) * total / n
+}
+
+// Shard is one planned slice of a campaign.
+type Shard struct {
+	Spec  Spec
+	Index int
+	Count int
+	// Start and End are the global fault-index range [Start, End).
+	Start, End int
+	// Faults are the shard's own faults; Faults[k] has global index
+	// Start+k.
+	Faults []fault.Fault
+	// UniverseHash fingerprints the full universe the shard was cut
+	// from.
+	UniverseHash string
+}
+
+// PlanShard deterministically plans shard i of n for the spec.
+func PlanShard(spec Spec, i, n int) (*Shard, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("campaign: shard count %d < 1", n)
+	}
+	if i < 0 || i >= n {
+		return nil, fmt.Errorf("campaign: shard index %d outside [0,%d)", i, n)
+	}
+	universe := spec.Universe()
+	if len(universe) == 0 {
+		return nil, fmt.Errorf("campaign: spec yields an empty fault universe")
+	}
+	lo, hi := ShardRange(len(universe), i, n)
+	return &Shard{
+		Spec:         spec,
+		Index:        i,
+		Count:        n,
+		Start:        lo,
+		End:          hi,
+		Faults:       universe[lo:hi],
+		UniverseHash: UniverseHash(universe),
+	}, nil
+}
+
+// Manifest returns the checkpoint manifest describing the shard.
+func (sh *Shard) Manifest() (*trace.Manifest, error) {
+	specJSON, err := json.Marshal(&sh.Spec)
+	if err != nil {
+		return nil, err
+	}
+	return &trace.Manifest{
+		Kind:         "manifest",
+		Version:      trace.CheckpointVersion,
+		Spec:         specJSON,
+		SpecHash:     sh.Spec.Hash(),
+		UniverseHash: sh.UniverseHash,
+		Shard:        sh.Index,
+		Shards:       sh.Count,
+		Start:        sh.Start,
+		End:          sh.End,
+	}, nil
+}

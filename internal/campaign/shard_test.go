@@ -1,0 +1,539 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nocalert/internal/trace"
+)
+
+// shardTestSpec is the spec the sharding tests run: small enough for
+// CI, loaded enough to produce every outcome class.
+func shardTestSpec(nFaults int) Spec {
+	return Spec{
+		MeshW: 4, MeshH: 4, VCs: 4,
+		InjectionRate: 0.12,
+		Seed:          3,
+		InjectCycle:   300,
+		PostInjectRun: 400,
+		DrainDeadline: 5000,
+		Epoch:         400,
+		HopLatency:    1,
+		NumFaults:     nFaults,
+	}
+}
+
+// TestShardRangePartition: for any shard count, the ranges tile
+// [0, total) exactly — contiguous, disjoint, no gaps.
+func TestShardRangePartition(t *testing.T) {
+	for _, total := range []int{0, 1, 2, 7, 48, 96, 11808, 32256} {
+		for _, n := range []int{1, 2, 3, 4, 5, 7, 16, 97} {
+			prevHi := 0
+			for i := 0; i < n; i++ {
+				lo, hi := ShardRange(total, i, n)
+				if lo != prevHi {
+					t.Fatalf("total=%d n=%d: shard %d starts at %d, previous ended at %d", total, n, i, lo, prevHi)
+				}
+				if hi < lo {
+					t.Fatalf("total=%d n=%d: shard %d has negative range [%d,%d)", total, n, i, lo, hi)
+				}
+				prevHi = hi
+			}
+			if prevHi != total {
+				t.Fatalf("total=%d n=%d: shards end at %d", total, n, prevHi)
+			}
+		}
+	}
+}
+
+// TestPlanShardTilesUniverse: planned shards re-assemble into exactly
+// the unsharded universe, for several shard counts, and planning is
+// deterministic.
+func TestPlanShardTilesUniverse(t *testing.T) {
+	spec := shardTestSpec(50)
+	universe := spec.Universe()
+	for _, n := range []int{1, 3, 4, 7, 50} {
+		var rebuilt int
+		for i := 0; i < n; i++ {
+			sh, err := PlanShard(spec, i, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sh.UniverseHash != UniverseHash(universe) {
+				t.Fatalf("n=%d shard %d: universe hash differs", n, i)
+			}
+			for k, f := range sh.Faults {
+				if f != universe[sh.Start+k] {
+					t.Fatalf("n=%d shard %d: fault %d is %v, universe has %v", n, i, k, &f, &universe[sh.Start+k])
+				}
+				rebuilt++
+			}
+			again, err := PlanShard(spec, i, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Start != sh.Start || again.End != sh.End || len(again.Faults) != len(sh.Faults) {
+				t.Fatalf("n=%d shard %d: planning is not deterministic", n, i)
+			}
+		}
+		if rebuilt != len(universe) {
+			t.Fatalf("n=%d: shards carry %d faults, universe has %d", n, rebuilt, len(universe))
+		}
+	}
+	if _, err := PlanShard(spec, 3, 3); err == nil {
+		t.Fatal("PlanShard accepted an out-of-range index")
+	}
+	if _, err := PlanShard(spec, 0, 0); err == nil {
+		t.Fatal("PlanShard accepted zero shards")
+	}
+}
+
+// recCache memoizes record sets across the sharding tests (each
+// campaign execution costs seconds).
+var recCache = map[string][]trace.RunRecord{}
+
+// unshardedRecords runs the spec's campaign unsharded and returns its
+// canonical-ordered record set.
+func unshardedRecords(t *testing.T, spec Spec) []trace.RunRecord {
+	t.Helper()
+	if recs, ok := recCache[spec.Hash()]; ok {
+		return recs
+	}
+	opts := spec.Options()
+	opts.Faults = spec.Universe()
+	recs := make([]trace.RunRecord, len(opts.Faults))
+	opts.OnResult = func(i int, res *RunResult, wall time.Duration, fast bool) {
+		recs[i] = RecordFor(i, res, wall, fast)
+	}
+	if _, err := Run(opts); err != nil {
+		t.Fatal(err)
+	}
+	recCache[spec.Hash()] = recs
+	return recs
+}
+
+// runShardToFile plans and executes one shard, checkpointing to dir.
+func runShardToFile(t *testing.T, spec Spec, i, n int, dir string) string {
+	t.Helper()
+	sh, err := PlanShard(spec, i, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sh.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "shard.ndjson")
+	cp, completed, err := trace.ResumeCheckpoint(path, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	stats, err := RunShard(sh, cp, completed, ShardRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Complete {
+		t.Fatalf("shard %d/%d did not complete: %+v", i, n, stats)
+	}
+	return path
+}
+
+func canonicalSet(recs []trace.RunRecord) map[int]string {
+	out := make(map[int]string, len(recs))
+	for i := range recs {
+		out[recs[i].Index] = string(recs[i].CanonicalBytes())
+	}
+	return out
+}
+
+// TestShardedMergeBitIdentical is the tentpole acceptance test:
+// executing the campaign as shards and merging yields records — and an
+// aggregated report, byte for byte — identical to the unsharded run.
+func TestShardedMergeBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	spec := shardTestSpec(48)
+	want := unshardedRecords(t, spec)
+
+	const n = 3
+	var shards []*trace.CheckpointData
+	for i := 0; i < n; i++ {
+		path := runShardToFile(t, spec, i, n, t.TempDir())
+		cd, err := trace.ReadCheckpointFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cd.Footer == nil {
+			t.Fatalf("shard %d checkpoint has no footer", i)
+		}
+		shards = append(shards, cd)
+	}
+	merged, err := MergeShards(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Records) != len(want) {
+		t.Fatalf("merged %d records, unsharded run has %d", len(merged.Records), len(want))
+	}
+	wantSet := canonicalSet(want)
+	for i := range merged.Records {
+		rec := &merged.Records[i]
+		if got := string(rec.CanonicalBytes()); got != wantSet[rec.Index] {
+			t.Fatalf("record %d differs between sharded and unsharded execution:\nsharded:   %s\nunsharded: %s",
+				rec.Index, got, wantSet[rec.Index])
+		}
+	}
+	if trace.SumRecords(merged.Records) != trace.SumRecords(want) {
+		t.Fatal("merged checksum differs from unsharded checksum")
+	}
+
+	// Aggregated report: bit-identical JSON export both when rebuilt
+	// from the unsharded records and when rebuilt from the merge.
+	unshardedRep, err := ReportFromRecords(spec, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedRep, err := merged.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := unshardedRep.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergedRep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("merged report JSON differs from unsharded:\n%s\nvs\n%s", b.String(), a.String())
+	}
+}
+
+// TestReportFromRecordsMatchesLiveReport: a report rebuilt from the
+// record stream exports the same JSON as the live in-memory report —
+// the records really do carry everything the aggregation needs.
+func TestReportFromRecordsMatchesLiveReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	spec := shardTestSpec(48)
+	opts := spec.Options()
+	opts.Faults = spec.Universe()
+	recs := make([]trace.RunRecord, len(opts.Faults))
+	opts.OnResult = func(i int, res *RunResult, wall time.Duration, fast bool) {
+		recs[i] = RecordFor(i, res, wall, fast)
+	}
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := ReportFromRecords(spec, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live, rec bytes.Buffer
+	if err := rep.WriteJSON(&live); err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.WriteJSON(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live.Bytes(), rec.Bytes()) {
+		t.Fatalf("record-rebuilt report differs from live report:\n%s\nvs\n%s", rec.String(), live.String())
+	}
+	if rebuilt.FastPathHits != rep.FastPathHits {
+		t.Fatalf("rebuilt fast-path hits %d, live %d", rebuilt.FastPathHits, rep.FastPathHits)
+	}
+}
+
+// TestInterruptedShardResume is the kill/resume acceptance test: a
+// shard cancelled mid-campaign and resumed from its checkpoint must
+// finish with exactly the records (and integrity checksum) of an
+// uninterrupted execution.
+func TestInterruptedShardResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	spec := shardTestSpec(48)
+	const n, idx = 2, 0
+	want := unshardedRecords(t, spec) // global truth to compare against
+
+	sh, err := PlanShard(spec, idx, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sh.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "interrupted.ndjson")
+	cp, completed, err := trace.ResumeCheckpoint(path, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(completed) != 0 {
+		t.Fatalf("fresh checkpoint claims %d completed runs", len(completed))
+	}
+
+	// Kill the shard after a third of its runs: cancel cooperatively
+	// and let RunShard surface the context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	killAfter := (sh.End - sh.Start) / 3
+	stats, err := RunShard(sh, cp, completed, ShardRunOptions{
+		Workers: 1,
+		Context: ctx,
+		Progress: func(done, total int) {
+			if done >= killAfter {
+				cancel()
+			}
+		},
+	})
+	cancel()
+	if err == nil {
+		t.Fatalf("interrupted shard returned no error (stats %+v)", stats)
+	}
+	if stats.Complete {
+		t.Fatal("interrupted shard claims completion")
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	partial, err := trace.ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partial.Records) == 0 || len(partial.Records) >= sh.End-sh.Start {
+		t.Fatalf("interruption recorded %d of %d runs; test premise broken",
+			len(partial.Records), sh.End-sh.Start)
+	}
+	if partial.Footer != nil {
+		t.Fatal("interrupted checkpoint has a footer")
+	}
+
+	// Resume: skip-and-verify the recorded runs, execute the rest.
+	cp2, completed2, err := trace.ResumeCheckpoint(path, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if len(completed2) != len(partial.Records) {
+		t.Fatalf("resume recovered %d records, file has %d", len(completed2), len(partial.Records))
+	}
+	stats2, err := RunShard(sh, cp2, completed2, ShardRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats2.Complete {
+		t.Fatalf("resumed shard did not complete: %+v", stats2)
+	}
+	if stats2.Resumed != len(completed2) || stats2.Resumed+stats2.Executed != sh.End-sh.Start {
+		t.Fatalf("resume accounting off: %+v", stats2)
+	}
+	if stats2.Verified == 0 {
+		t.Fatal("resume verified no recorded runs")
+	}
+
+	// The resumed checkpoint must carry exactly the uninterrupted
+	// run's records (canonical bytes) and checksum.
+	final, err := trace.ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Records) != sh.End-sh.Start || final.Footer == nil {
+		t.Fatalf("resumed checkpoint: %d records, footer %v", len(final.Records), final.Footer)
+	}
+	wantSet := canonicalSet(want)
+	for i := range final.Records {
+		rec := &final.Records[i]
+		if rec.Index < sh.Start || rec.Index >= sh.End {
+			t.Fatalf("record %d outside shard range", rec.Index)
+		}
+		if got := string(rec.CanonicalBytes()); got != wantSet[rec.Index] {
+			t.Fatalf("resumed record %d differs from uninterrupted execution:\nresumed: %s\nwant:    %s",
+				rec.Index, got, wantSet[rec.Index])
+		}
+	}
+	wantShard := want[sh.Start:sh.End]
+	if final.Footer.Sum != trace.SumRecords(wantShard) {
+		t.Fatalf("resumed checksum %s != uninterrupted %s", final.Footer.Sum, trace.SumRecords(wantShard))
+	}
+
+	// Resuming a finalized checkpoint is a no-op.
+	cp3, completed3, err := trace.ResumeCheckpoint(path, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp3.Close()
+	stats3, err := RunShard(sh, cp3, completed3, ShardRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats3.Complete || stats3.Executed != 0 {
+		t.Fatalf("finalized shard re-ran work: %+v", stats3)
+	}
+}
+
+// TestResumeDetectsTamperedCheckpoint: resume validates recorded runs
+// two ways — fault identity against the plan, and deterministic
+// re-execution of a sample. Both must reject a checkpoint whose
+// records were altered.
+func TestResumeDetectsTamperedCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	spec := shardTestSpec(8)
+	sh, err := PlanShard(spec, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sh.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shard.ndjson")
+	cp, _, err := trace.ResumeCheckpoint(path, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	_, runErr := RunShard(sh, cp, nil, ShardRunOptions{
+		Workers: 1,
+		Context: ctx,
+		Progress: func(done, total int) {
+			if done >= 3 {
+				cancel()
+			}
+		},
+	})
+	cancel()
+	if runErr == nil {
+		t.Fatal("expected interruption")
+	}
+	cp.Close()
+
+	tamper := func(t *testing.T, mutate func(rec map[string]any)) string {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+		if len(lines) < 2 {
+			t.Fatal("checkpoint too short to tamper")
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+			t.Fatal(err)
+		}
+		mutate(rec)
+		mutated, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines[1] = string(mutated)
+		out := filepath.Join(t.TempDir(), "tampered.ndjson")
+		if err := os.WriteFile(out, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// (a) Fault-identity tampering is caught by plan validation.
+	badID := tamper(t, func(rec map[string]any) { rec["router"] = rec["router"].(float64) + 1 })
+	cpa, completed, err := trace.ResumeCheckpoint(badID, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpa.Close()
+	if _, err := RunShard(sh, cpa, completed, ShardRunOptions{}); err == nil {
+		t.Fatal("identity-tampered checkpoint resumed without error")
+	}
+
+	// (b) Result tampering is caught by deterministic re-execution.
+	badRes := tamper(t, func(rec map[string]any) {
+		rec["fired"] = rec["fired"] != true
+		rec["nocalert_outcome"] = "FN"
+	})
+	cpb, completedB, err := trace.ResumeCheckpoint(badRes, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpb.Close()
+	// Verify every recorded run so the tampered one is certainly
+	// replayed.
+	_, err = RunShard(sh, cpb, completedB, ShardRunOptions{VerifyResumed: 1 << 20})
+	if err == nil {
+		t.Fatal("result-tampered checkpoint resumed without error")
+	}
+	if !strings.Contains(err.Error(), "diverges") {
+		t.Fatalf("unexpected error for tampered result: %v", err)
+	}
+}
+
+// TestMergeShardsRejectsBadSets: the merge reducer must refuse
+// incomplete, duplicated or cross-campaign shard sets.
+func TestMergeShardsRejectsBadSets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	spec := shardTestSpec(48)
+	// Reuse the canonical unsharded records to synthesize finalized
+	// shard checkpoints without re-running campaigns.
+	want := unshardedRecords(t, spec)
+	mkShard := func(i, n int) *trace.CheckpointData {
+		sh, err := PlanShard(spec, i, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sh.Manifest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := append([]trace.RunRecord(nil), want[sh.Start:sh.End]...)
+		return &trace.CheckpointData{
+			Manifest: *m,
+			Records:  recs,
+			Footer:   &trace.Footer{Kind: "footer", Records: len(recs), Sum: trace.SumRecords(recs)},
+		}
+	}
+
+	good := []*trace.CheckpointData{mkShard(0, 2), mkShard(1, 2)}
+	if _, err := MergeShards(good); err != nil {
+		t.Fatalf("valid shard set rejected: %v", err)
+	}
+
+	if _, err := MergeShards(good[:1]); err == nil {
+		t.Fatal("merge accepted an incomplete shard set")
+	}
+	if _, err := MergeShards([]*trace.CheckpointData{mkShard(0, 2), mkShard(0, 2)}); err == nil {
+		t.Fatal("merge accepted a duplicated shard")
+	}
+
+	foreign := mkShard(1, 2)
+	foreign.Manifest.SpecHash = "deadbeefdeadbeef"
+	if _, err := MergeShards([]*trace.CheckpointData{mkShard(0, 2), foreign}); err == nil {
+		t.Fatal("merge accepted shards from different campaigns")
+	}
+
+	unfinished := mkShard(1, 2)
+	unfinished.Footer = nil
+	if _, err := MergeShards([]*trace.CheckpointData{mkShard(0, 2), unfinished}); err == nil {
+		t.Fatal("merge accepted an unfinalized shard")
+	}
+
+	short := mkShard(1, 2)
+	short.Records = short.Records[:len(short.Records)-1]
+	short.Footer = &trace.Footer{Kind: "footer", Records: len(short.Records), Sum: trace.SumRecords(short.Records)}
+	if _, err := MergeShards([]*trace.CheckpointData{mkShard(0, 2), short}); err == nil {
+		t.Fatal("merge accepted a shard with missing records")
+	}
+}

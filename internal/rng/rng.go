@@ -84,6 +84,41 @@ func (p *PCG) Bernoulli(prob float64) bool {
 	return p.Float64() < prob
 }
 
+// splitmix64 is the SplitMix64 output function (Steele, Lea & Flood,
+// 2014): a bijective avalanche mix used here to fold identifiers into
+// seed material. Unlike the PCG stream itself it has no state to
+// advance, which makes it the right tool for *deriving* independent
+// seeds from structured coordinates.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Derive folds a root seed and a coordinate path into a derived seed.
+// The derivation is purely positional: Derive(s, a, b) depends only on
+// (s, a, b), never on how many other streams were derived before it, so
+// a sharded computation that derives one stream per work item draws
+// exactly the same stream for item k no matter which shard runs it or
+// in what order — the property that keeps sharded fault campaigns
+// bit-identical to unsharded ones.
+func Derive(seed uint64, path ...uint64) uint64 {
+	h := splitmix64(seed)
+	for _, p := range path {
+		h = splitmix64(h ^ splitmix64(p))
+	}
+	return h
+}
+
+// NewDerived returns a generator seeded from Derive(seed, path...).
+// Distinct paths yield independent streams; equal (seed, path) pairs
+// yield identical streams regardless of derivation order.
+func NewDerived(seed uint64, path ...uint64) *PCG {
+	d := Derive(seed, path...)
+	return New(d, splitmix64(d))
+}
+
 // Perm returns a pseudo-random permutation of [0, n).
 func (p *PCG) Perm(n int) []int {
 	out := make([]int, n)

@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testManifest() *Manifest {
+	return &Manifest{
+		Kind:         "manifest",
+		Version:      CheckpointVersion,
+		Spec:         json.RawMessage(`{"seed":3}`),
+		SpecHash:     "00000000000000aa",
+		UniverseHash: "00000000000000bb",
+		Shard:        1,
+		Shards:       4,
+		Start:        10,
+		End:          20,
+	}
+}
+
+func testRecord(i int) RunRecord {
+	return RunRecord{
+		Index: i, Router: i % 4, Signal: "sa1.gnt", Port: 1, VC: -1, Bit: i % 3,
+		FaultType: "transient", Cycle: 100, Fired: true, Drained: true,
+		Outcome: "FP", Latency: 0, CautiousOutcome: "FP", CautiousLatency: 0,
+		ForeverOutcome: "TN", ForeverLatency: -1,
+		CheckersFired: []int{2, 7}, FirstCycleCheckers: []int{2},
+		WallSeconds: float64(i) * 0.001,
+	}
+}
+
+func TestCheckpointWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.ndjson")
+	cp, err := CreateCheckpoint(path, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 20; i++ {
+		rec := testRecord(i)
+		if err := cp.Append(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cp.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cd, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cd.Manifest.Compatible(testManifest()) {
+		t.Fatalf("manifest did not round-trip: %+v", cd.Manifest)
+	}
+	if len(cd.Records) != 10 {
+		t.Fatalf("read %d records, want 10", len(cd.Records))
+	}
+	if cd.Footer == nil {
+		t.Fatal("finalized checkpoint read back without footer")
+	}
+	if cd.Footer.Records != 10 {
+		t.Fatalf("footer records = %d, want 10", cd.Footer.Records)
+	}
+	if cd.Footer.Sum != SumRecords(cd.Records) {
+		t.Fatalf("footer sum %s != recomputed %s", cd.Footer.Sum, SumRecords(cd.Records))
+	}
+}
+
+// TestCheckpointResumeAfterTornTail is the kill-mid-write scenario: a
+// torn trailing line must be dropped and truncated so the resumed
+// writer appends on a clean boundary.
+func TestCheckpointResumeAfterTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.ndjson")
+	cp, err := CreateCheckpoint(path, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 14; i++ {
+		rec := testRecord(i)
+		if err := cp.Append(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the kill: a partial record with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"index":14,"router":2,"nocal`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cp2, completed, err := ResumeCheckpoint(path, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(completed) != 4 {
+		t.Fatalf("resume recovered %d records, want 4", len(completed))
+	}
+	for i := 14; i < 20; i++ {
+		rec := testRecord(i)
+		if err := cp2.Append(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cp2.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	cp2.Close()
+
+	cd, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cd.Records) != 10 || cd.Footer == nil {
+		t.Fatalf("after resume: %d records, footer %v; want 10 with footer", len(cd.Records), cd.Footer)
+	}
+	// The footer checksum is order-independent and wall-independent, so
+	// it must equal the sum over a freshly built record set.
+	var fresh []RunRecord
+	for i := 10; i < 20; i++ {
+		fresh = append(fresh, testRecord(i))
+	}
+	if cd.Footer.Sum != SumRecords(fresh) {
+		t.Fatalf("resumed checkpoint sum %s != uninterrupted sum %s", cd.Footer.Sum, SumRecords(fresh))
+	}
+}
+
+func TestResumeCheckpointCreatesMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.ndjson")
+	cp, completed, err := ResumeCheckpoint(path, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(completed) != 0 {
+		t.Fatalf("fresh resume returned %d records", len(completed))
+	}
+	cp.Close()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("fresh resume did not create the checkpoint: %v", err)
+	}
+}
+
+func TestResumeCheckpointRejectsForeignManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.ndjson")
+	cp, err := CreateCheckpoint(path, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	other := testManifest()
+	other.SpecHash = "00000000000000cc"
+	if _, _, err := ResumeCheckpoint(path, other); err == nil {
+		t.Fatal("resume accepted a checkpoint from a different campaign")
+	}
+	wrongShard := testManifest()
+	wrongShard.Shard = 2
+	if _, _, err := ResumeCheckpoint(path, wrongShard); err == nil {
+		t.Fatal("resume accepted a checkpoint from a different shard")
+	}
+}
+
+func TestReadCheckpointRejectsCorruption(t *testing.T) {
+	mb, _ := json.Marshal(testManifest())
+	rec := testRecord(10)
+	rb, _ := json.Marshal(&rec)
+
+	// A malformed line with intact data after it is corruption.
+	corrupt := string(mb) + "\n" + "{garbage}\n" + string(rb) + "\n"
+	if _, err := ReadCheckpoint(strings.NewReader(corrupt)); err == nil {
+		t.Fatal("mid-file corruption not detected")
+	}
+
+	// A footer that miscounts is corruption.
+	badFooter, _ := json.Marshal(&Footer{Kind: "footer", Records: 7, Sum: SumRecords([]RunRecord{rec})})
+	miscount := string(mb) + "\n" + string(rb) + "\n" + string(badFooter) + "\n"
+	if _, err := ReadCheckpoint(strings.NewReader(miscount)); err == nil {
+		t.Fatal("footer record-count mismatch not detected")
+	}
+
+	// A footer with the wrong checksum is corruption.
+	wrongSum, _ := json.Marshal(&Footer{Kind: "footer", Records: 1, Sum: "0000000000000000"})
+	badsum := string(mb) + "\n" + string(rb) + "\n" + string(wrongSum) + "\n"
+	if _, err := ReadCheckpoint(strings.NewReader(badsum)); err == nil {
+		t.Fatal("footer checksum mismatch not detected")
+	}
+
+	// Records after the footer are corruption.
+	footer, _ := json.Marshal(&Footer{Kind: "footer", Records: 1, Sum: SumRecords([]RunRecord{rec})})
+	after := string(mb) + "\n" + string(rb) + "\n" + string(footer) + "\n" + string(rb) + "\n"
+	if _, err := ReadCheckpoint(strings.NewReader(after)); err == nil {
+		t.Fatal("data after footer not detected")
+	}
+
+	// No manifest at all.
+	if _, err := ReadCheckpoint(strings.NewReader(string(rb) + "\n")); err == nil {
+		t.Fatal("missing manifest not detected")
+	}
+}
+
+func TestAppendToFinalizedCheckpointFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.ndjson")
+	cp, err := CreateCheckpoint(path, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord(10)
+	if err := cp.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	rec2 := testRecord(11)
+	if err := cp.Append(&rec2); err == nil {
+		t.Fatal("append after finalize succeeded")
+	}
+	cp.Close()
+}
+
+// TestSumRecordsOrderAndWallIndependent pins the two properties the
+// resumable format relies on.
+func TestSumRecordsOrderAndWallIndependent(t *testing.T) {
+	a := []RunRecord{testRecord(1), testRecord(2), testRecord(3)}
+	b := []RunRecord{testRecord(3), testRecord(1), testRecord(2)}
+	for i := range b {
+		b[i].WallSeconds *= 17 // wall time varies run to run
+	}
+	if SumRecords(a) != SumRecords(b) {
+		t.Fatal("record checksum depends on order or wall time")
+	}
+	c := []RunRecord{testRecord(1), testRecord(2)}
+	if SumRecords(a) == SumRecords(c) {
+		t.Fatal("record checksum misses a dropped record")
+	}
+	d := []RunRecord{testRecord(1), testRecord(2), testRecord(3)}
+	d[1].Outcome = "FN"
+	if SumRecords(a) == SumRecords(d) {
+		t.Fatal("record checksum misses an outcome drift")
+	}
+}

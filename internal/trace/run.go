@@ -48,8 +48,35 @@ type RunRecord struct {
 	ForeverOutcome  string `json:"forever_outcome"`
 	ForeverLatency  int64  `json:"forever_latency"`
 
-	// WallSeconds is the run's wall-clock cost on its worker.
+	// Checker attribution: every checker that fired during the run, and
+	// the subset asserted in the first detection cycle. Carrying these
+	// makes the record stream sufficient to rebuild the aggregated
+	// report (Figures 8 and 9) bit-identically, which is what lets
+	// sharded campaigns merge into the same report an unsharded run
+	// produces.
+	CheckersFired      []int `json:"checkers_fired,omitempty"`
+	FirstCycleCheckers []int `json:"first_cycle_checkers,omitempty"`
+
+	// WallSeconds is the run's wall-clock cost on its worker. It is the
+	// one field that legitimately differs between two executions of the
+	// same fault; canonical comparisons (CanonicalBytes) zero it.
 	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// CanonicalBytes returns the record's canonical JSON: WallSeconds —
+// the only execution-dependent field — zeroed, everything else as
+// written. Two runs of the same fault from the same campaign spec are
+// canonical-byte-identical, which is what resume verification, shard
+// merging and golden fixtures compare.
+func (r *RunRecord) CanonicalBytes() []byte {
+	c := *r
+	c.WallSeconds = 0
+	b, err := json.Marshal(&c)
+	if err != nil {
+		// RunRecord contains only plain JSON-marshalable types.
+		panic(fmt.Sprintf("trace: canonical marshal: %v", err))
+	}
+	return b
 }
 
 // RunWriter streams RunRecords as NDJSON — one compact JSON object per

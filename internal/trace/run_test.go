@@ -125,7 +125,10 @@ func TestRunWriterRoundTrip(t *testing.T) {
 		t.Fatalf("read %d records, want 2", len(got))
 	}
 	for i := range recs {
-		if got[i] != recs[i] {
+		// RunRecord now carries slices; compare canonical bytes plus the
+		// one field canonicalization drops.
+		if !bytes.Equal(got[i].CanonicalBytes(), recs[i].CanonicalBytes()) ||
+			got[i].WallSeconds != recs[i].WallSeconds {
 			t.Fatalf("record %d round-trip mismatch:\ngot  %+v\nwant %+v", i, got[i], recs[i])
 		}
 	}

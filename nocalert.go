@@ -45,6 +45,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"nocalert/internal/campaign"
 	"nocalert/internal/core"
@@ -329,6 +330,70 @@ func SampleFaults(p FaultParams, n int, seed uint64, cycle int64) []Fault {
 	return campaign.SampleFaults(p, n, seed, cycle)
 }
 
+// ---- Sharded, resumable campaigns ----
+
+// CampaignSpec is the complete serializable description of a campaign;
+// equal specs derive identical fault universes and run records.
+type CampaignSpec = campaign.Spec
+
+// CampaignShard is one planned slice of a campaign's fault universe.
+type CampaignShard = campaign.Shard
+
+// CampaignShardRunOptions are RunCampaignShard's execution knobs.
+type CampaignShardRunOptions = campaign.ShardRunOptions
+
+// CampaignShardRunStats summarizes one shard execution (resumed,
+// verified and newly executed run counts).
+type CampaignShardRunStats = campaign.ShardRunStats
+
+// MergedCampaign is a validated, folded set of shard checkpoints.
+type MergedCampaign = campaign.Merged
+
+// CampaignFixture is a committed per-fault classification snapshot
+// (the golden-fixture format under testdata/).
+type CampaignFixture = campaign.Fixture
+
+// PlanCampaignShard deterministically plans shard i of n: shard ranges
+// tile the spec's fault universe with no overlap and no gaps for any n.
+func PlanCampaignShard(spec CampaignSpec, i, n int) (*CampaignShard, error) {
+	return campaign.PlanShard(spec, i, n)
+}
+
+// RunCampaignShard executes a shard, streaming completed runs into the
+// checkpoint; already-recorded runs are skipped after validation and a
+// deterministic re-execution sample.
+func RunCampaignShard(sh *CampaignShard, cp *Checkpoint, completed []RunTraceRecord, o CampaignShardRunOptions) (*CampaignShardRunStats, error) {
+	return campaign.RunShard(sh, cp, completed, o)
+}
+
+// MergeCampaignShards validates a complete shard set and folds it into
+// one campaign whose records match the unsharded run bit for bit.
+func MergeCampaignShards(shards []*CheckpointData) (*MergedCampaign, error) {
+	return campaign.MergeShards(shards)
+}
+
+// CampaignReportFromRecords rebuilds the aggregated report from a
+// complete record set; its WriteJSON output is byte-identical to the
+// live report of the equivalent run.
+func CampaignReportFromRecords(spec CampaignSpec, recs []RunTraceRecord) (*CampaignReport, error) {
+	return campaign.ReportFromRecords(spec, recs)
+}
+
+// NewCampaignFixture canonicalizes records into a fixture (sorted by
+// index, wall times zeroed).
+func NewCampaignFixture(spec CampaignSpec, recs []RunTraceRecord) *CampaignFixture {
+	return campaign.NewFixture(spec, recs)
+}
+
+// ReadCampaignFixture parses a committed fixture.
+func ReadCampaignFixture(r io.Reader) (*CampaignFixture, error) { return campaign.ReadFixture(r) }
+
+// CampaignRunRecord flattens one campaign result into the NDJSON
+// record schema shared by run traces, checkpoints and fixtures.
+func CampaignRunRecord(i int, res *CampaignResult, wall time.Duration, fastPath bool) RunTraceRecord {
+	return campaign.RecordFor(i, res, wall, fastPath)
+}
+
 // ---- Recovery (extension: detection → retransmission) ----
 
 // RecoveryController retransmits end-to-end-unconfirmed packets once
@@ -423,6 +488,43 @@ func NewRunTraceWriter(w io.Writer) *RunTraceWriter { return trace.NewRunWriter(
 // ReadRunTrace parses an NDJSON run trace, tolerating a truncated final
 // line (the shape an interrupted campaign leaves behind).
 func ReadRunTrace(r io.Reader) ([]RunTraceRecord, error) { return trace.ReadRunRecords(r) }
+
+// ---- Checkpoints (sharded campaign persistence) ----
+
+// Checkpoint is an appendable shard checkpoint file: a manifest line,
+// one RunTraceRecord per completed run, and an integrity footer once
+// finalized.
+type Checkpoint = trace.Checkpoint
+
+// CheckpointManifest is the self-describing first line of a checkpoint.
+type CheckpointManifest = trace.Manifest
+
+// CheckpointFooter seals a finalized checkpoint with a record count
+// and an order-independent checksum.
+type CheckpointFooter = trace.Footer
+
+// CheckpointData is a fully parsed checkpoint file.
+type CheckpointData = trace.CheckpointData
+
+// CreateCheckpoint starts a fresh checkpoint at path.
+func CreateCheckpoint(path string, m *CheckpointManifest) (*Checkpoint, error) {
+	return trace.CreateCheckpoint(path, m)
+}
+
+// ResumeCheckpoint opens (or creates) the checkpoint at path, returning
+// the writer and the records recovered from a previous execution. A
+// torn trailing line — the signature of a killed shard — is dropped and
+// truncated; a manifest incompatible with m is an error.
+func ResumeCheckpoint(path string, m *CheckpointManifest) (*Checkpoint, []RunTraceRecord, error) {
+	return trace.ResumeCheckpoint(path, m)
+}
+
+// ReadCheckpointFile parses and integrity-checks a checkpoint file.
+func ReadCheckpointFile(path string) (*CheckpointData, error) { return trace.ReadCheckpointFile(path) }
+
+// SumRunRecords is the checkpoint checksum: an order- and wall-time-
+// independent fold over the records' canonical bytes.
+func SumRunRecords(recs []RunTraceRecord) string { return trace.SumRecords(recs) }
 
 // ---- Diagnosis (extension: detection → localization) ----
 
