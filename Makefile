@@ -9,7 +9,12 @@ GO ?= go
 GOLDEN_FLAGS = -mesh 4x4 -vcs 4 -rate 0.12 -seed 3 -inject 300 -post 400 \
 	-drain 5000 -epoch 400 -faults 96
 
-.PHONY: all build fmt vet lint test race bench ci golden shardcheck
+# Coverage floor for `make cover` (percent of statements across
+# ./internal/...). Raise it when coverage rises; never lower it to
+# merge — add tests instead.
+COVER_FLOOR = 85.0
+
+.PHONY: all build fmt vet lint test race cover e2e bench ci golden shardcheck
 
 all: ci
 
@@ -24,13 +29,18 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# lint = formatting + vet, plus staticcheck when it is installed (the
-# CI image may not carry it; the gate must not depend on a download).
+# lint = formatting + vet, plus staticcheck and govulncheck when they
+# are installed (the CI lint job installs both; the local gate must
+# not depend on a download).
 lint: fmt vet
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipped (go vet ran)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipped"; fi
 
 # test also vets and race-checks the telemetry packages — they are
 # quick under -race, unlike the full campaign suite (see race).
@@ -38,12 +48,29 @@ test: vet
 	$(GO) test ./...
 	$(GO) test -race ./internal/metrics ./internal/trace
 
-# The campaign, simulator, metrics and trace packages are the
+# The campaign, simulator, metrics, trace and server packages are the
 # concurrent ones (worker pools forking clones, lock-free instrument
-# updates, NDJSON writers); run them under the race detector. The
-# campaign package takes several minutes race-enabled.
+# updates, NDJSON writers, the daemon's queue/worker/event fan-out);
+# run them under the race detector. The campaign package takes several
+# minutes race-enabled.
 race:
-	$(GO) test -race ./internal/campaign ./internal/sim ./internal/metrics ./internal/trace
+	$(GO) test -race ./internal/campaign ./internal/sim ./internal/metrics \
+		./internal/trace ./internal/server
+
+# cover enforces the coverage floor over ./internal/... and leaves the
+# profile in cover.out for inspection (`go tool cover -html=cover.out`).
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./internal/...
+	@total="$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}')"; \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { if (t+0 < f+0) exit 1 }' || \
+		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# e2e builds the real nocalertd binary, SIGKILLs it mid-campaign over
+# HTTP, restarts it, and requires the resumed job's report to be
+# byte-identical to an uninterrupted run's (see e2e/restart_test.go).
+e2e:
+	$(GO) test -tags e2e ./e2e -v -timeout 20m
 
 # Campaign throughput baseline (faults/sec, ns/fault, allocs/fault),
 # plus a timestamped record appended to BENCH_4x4.json so the perf
@@ -73,4 +100,4 @@ shardcheck:
 		-golden testdata/golden_4x4_seed3.json .shardcheck/shard*.ndjson
 	rm -rf .shardcheck
 
-ci: lint build test race
+ci: lint build test race cover

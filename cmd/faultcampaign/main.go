@@ -159,22 +159,7 @@ func main() {
 
 	var report func(done, total int)
 	if *progress {
-		lastBucket := -1 // emit on every new 5% bucket, including 0%
-		report = func(done, total int) {
-			pct := done * 100 / total
-			if bucket := pct / 5; bucket > lastBucket || done == total {
-				lastBucket = bucket
-				line := fmt.Sprintf("\rcampaign: %d/%d runs (%d%%)", done, total, pct)
-				if fps := reg.Gauge(nocalert.MetricCampaignFaultsPerSec).Value(); fps > 0 && done < total {
-					eta := time.Duration(float64(total-done) / fps * float64(time.Second))
-					line += fmt.Sprintf(" | %.1f faults/sec, ETA %s", fps, eta.Round(time.Second))
-				}
-				fmt.Fprint(os.Stderr, line)
-				if done == total {
-					fmt.Fprintln(os.Stderr)
-				}
-			}
-		}
+		report = progressPrinter(os.Stderr, "campaign", reg)
 		report(0, len(faults)) // the 0% line must appear before the first run completes
 	}
 	start := time.Now()

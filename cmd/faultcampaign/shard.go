@@ -51,22 +51,7 @@ func runShardMode(ctx context.Context, spec nocalert.CampaignSpec, shard, path s
 
 	var report func(done, total int)
 	if progress {
-		lastBucket := -1
-		report = func(done, total int) {
-			pct := done * 100 / total
-			if bucket := pct / 5; bucket > lastBucket || done == total {
-				lastBucket = bucket
-				line := fmt.Sprintf("\rshard %d/%d: %d/%d runs (%d%%)", idx, n, done, total, pct)
-				if fps := reg.Gauge(nocalert.MetricCampaignFaultsPerSec).Value(); fps > 0 && done < total {
-					eta := time.Duration(float64(total-done) / fps * float64(time.Second))
-					line += fmt.Sprintf(" | %.1f faults/sec, ETA %s", fps, eta.Round(time.Second))
-				}
-				fmt.Fprint(os.Stderr, line)
-				if done == total {
-					fmt.Fprintln(os.Stderr)
-				}
-			}
-		}
+		report = progressPrinter(os.Stderr, fmt.Sprintf("shard %d/%d", idx, n), reg)
 	}
 
 	start := time.Now()

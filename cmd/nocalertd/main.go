@@ -1,0 +1,119 @@
+// Command nocalertd is the long-running campaign service: submit
+// fault-injection campaigns (campaign.Spec JSON) over HTTP, watch
+// their progress as an NDJSON/SSE event stream, and fetch final
+// reports that are byte-identical to the equivalent unsharded
+// `faultcampaign -json` output.
+//
+// Every job is durable. Submissions are persisted as a job manifest
+// plus a resumable shard checkpoint in the state directory before the
+// 201 response is written, so a daemon killed at any instant — SIGKILL
+// included — restarts with its whole job table and resumes every
+// unfinished campaign from its checkpoint, re-verifying a sample of
+// the recorded runs instead of re-executing them.
+//
+// Usage:
+//
+//	nocalertd -addr localhost:8377 -dir /var/lib/nocalertd
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a spec (429 when the queue is full)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/events NDJSON progress stream (SSE with
+//	                            Accept: text/event-stream)
+//	GET    /v1/jobs/{id}/report final aggregated report
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /healthz /metricsz /debug/pprof/ /debug/vars
+//
+// SIGTERM/SIGINT drain gracefully: the listener closes, running
+// campaigns stop after their in-flight faults (every completed run is
+// already on disk), queued jobs stay queued, and the next start
+// resumes all of it. A second signal exits immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nocalert/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nocalertd: ")
+	var (
+		addr     = flag.String("addr", "localhost:8377", "HTTP listen address (host:0 picks a free port)")
+		dir      = flag.String("dir", "nocalertd-state", "state directory: job manifests, checkpoints and reports")
+		queue    = flag.Int("queue", 16, "submission queue bound; beyond it POST /v1/jobs returns 429")
+		jobs     = flag.Int("jobs", 1, "jobs running concurrently (each job is internally parallel)")
+		workers  = flag.Int("workers", 0, "per-campaign worker pool size (0 = GOMAXPROCS)")
+		verifyN  = flag.Int("verify-resumed", 0, "recorded runs to re-execute and compare when resuming a checkpoint (0 = default sample, -1 = none)")
+		drainFor = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight runs before giving up")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		Dir:             *dir,
+		QueueSize:       *queue,
+		Concurrency:     *jobs,
+		CampaignWorkers: *workers,
+		VerifyResumed:   *verifyN,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	// The e2e harness parses this line to find the bound port.
+	fmt.Printf("nocalertd: listening on %s (state dir %s)\n", ln.Addr(), *dir)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		log.Printf("%v: draining (in-flight runs finish, checkpoints stay resumable; again to force exit)", sig)
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	}
+
+	go func() {
+		<-sigs
+		log.Print("second signal: exiting now (checkpoints are append-only and survive this too)")
+		os.Exit(1)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Stop(ctx); err != nil {
+		log.Printf("%v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	log.Print("drained; state is resumable on next start")
+}

@@ -1,0 +1,14 @@
+// Package e2e holds the black-box end-to-end suite for the nocalertd
+// campaign service. The tests build the real binaries, drive them over
+// HTTP as separate processes, and include the durability gate CI
+// enforces: SIGKILL the daemon mid-campaign, restart it, and require
+// the resumed job's final report to be byte-identical to an
+// uninterrupted run's (and to the unsharded faultcampaign CLI's).
+//
+// The suite is behind the `e2e` build tag because it shells out to the
+// go tool and runs multi-second campaigns:
+//
+//	go test -tags e2e ./e2e -v
+//
+// or `make e2e`.
+package e2e

@@ -1,0 +1,576 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"nocalert/internal/campaign"
+	"nocalert/internal/metrics"
+	"nocalert/internal/trace"
+)
+
+// Server metric names, published into the same registry the campaign
+// engine instruments, so one /metricsz scrape covers queue health and
+// live campaign throughput alike.
+const (
+	MetricJobsSubmitted = "nocalertd_jobs_submitted_total"
+	MetricJobsRejected  = "nocalertd_jobs_rejected_total"
+	MetricJobsDone      = "nocalertd_jobs_done_total"
+	MetricJobsFailed    = "nocalertd_jobs_failed_total"
+	MetricJobsCanceled  = "nocalertd_jobs_canceled_total"
+	MetricJobsRecovered = "nocalertd_jobs_recovered_total"
+	MetricJobsQueued    = "nocalertd_jobs_queued"
+	MetricJobsRunning   = "nocalertd_jobs_running"
+	MetricHTTPRequests  = "nocalertd_http_requests_total"
+)
+
+// Config tunes a Server. Zero values get serviceable defaults.
+type Config struct {
+	// Dir is the state directory: job manifests, shard checkpoints and
+	// final reports all live here (see trace.JobStatePath and friends).
+	// Required.
+	Dir string
+	// QueueSize bounds the submission queue; a submit beyond it is
+	// rejected with 429 rather than buffered without bound. Default 16.
+	QueueSize int
+	// Concurrency is how many jobs run at once. The default of 1 gives
+	// each campaign the whole worker pool — jobs are internally
+	// parallel, so stacking them oversubscribes the CPU.
+	Concurrency int
+	// CampaignWorkers is each campaign's worker-pool size; 0 means
+	// GOMAXPROCS.
+	CampaignWorkers int
+	// VerifyResumed is passed through to RunShard when a job resumes a
+	// non-empty checkpoint (0 = default sample, -1 = none).
+	VerifyResumed int
+	// EventBuffer is each progress stream's channel depth; a consumer
+	// that falls further behind has events dropped (and counted) rather
+	// than stalling the campaign. Default 64.
+	EventBuffer int
+	// Registry receives job-queue and campaign telemetry; one is
+	// created when nil.
+	Registry *metrics.Registry
+	// Logf, when non-nil, receives one line per job transition.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 16
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 1
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 64
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server owns the job table, the bounded queue and the worker pool.
+type Server struct {
+	cfg Config
+	reg *metrics.Registry
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // submission order, for listings
+
+	queue chan *Job
+	// baseCtx parents every job run; stop cancels it on drain.
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+	// draining refuses new submissions during shutdown.
+	draining bool
+
+	mSubmitted, mRejected     *metrics.Counter
+	mDone, mFailed, mCanceled *metrics.Counter
+	mRecovered                *metrics.Counter
+	gQueued, gRunning         *metrics.Gauge
+}
+
+// New builds a Server over the state directory, rebuilds the job table
+// from the manifests found there, re-enqueues every unfinished job
+// (oldest first) and starts the worker pool. A job whose manifest says
+// "done" but whose report file is missing — a crash between finalizing
+// the checkpoint and writing the report — is re-enqueued too; its
+// finalized checkpoint makes the re-run a pure report rebuild.
+func New(cfg Config) (*Server, error) {
+	s, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.startWorkers()
+	return s, nil
+}
+
+// build is New without the worker pool — the seam tests use to hold
+// submitted jobs in the queued state deterministically.
+func build(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("server: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		reg:        cfg.Registry,
+		jobs:       make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueSize),
+		baseCtx:    ctx,
+		stop:       cancel,
+		mSubmitted: cfg.Registry.Counter(MetricJobsSubmitted),
+		mRejected:  cfg.Registry.Counter(MetricJobsRejected),
+		mDone:      cfg.Registry.Counter(MetricJobsDone),
+		mFailed:    cfg.Registry.Counter(MetricJobsFailed),
+		mCanceled:  cfg.Registry.Counter(MetricJobsCanceled),
+		mRecovered: cfg.Registry.Counter(MetricJobsRecovered),
+		gQueued:    cfg.Registry.Gauge(MetricJobsQueued),
+		gRunning:   cfg.Registry.Gauge(MetricJobsRunning),
+	}
+	if err := s.recover(); err != nil {
+		cancel()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Server) startWorkers() {
+	for i := 0; i < s.cfg.Concurrency; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// recover rebuilds the job table from the state directory.
+func (s *Server) recover() error {
+	states, err := trace.ListJobStates(s.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	var requeue []*Job
+	for _, js := range states {
+		var spec campaign.Spec
+		if err := json.Unmarshal(js.Spec, &spec); err != nil {
+			return fmt.Errorf("server: job %s: bad spec: %v", js.ID, err)
+		}
+		if h := spec.Hash(); h != js.SpecHash {
+			return fmt.Errorf("server: job %s: spec hash %s does not match its spec (%s)", js.ID, js.SpecHash, h)
+		}
+		j := newJob(js.ID, spec, parseRFC3339(js.SubmittedAt))
+		j.status = Status(js.Status)
+		j.errMsg = js.Error
+		j.finished = parseRFC3339(js.FinishedAt)
+		if js.Status == trace.JobDone {
+			if _, err := os.Stat(trace.JobReportPath(s.cfg.Dir, js.ID)); err != nil {
+				// Crash window between checkpoint finalize and report
+				// write: rebuild it.
+				j.status = StatusQueued
+				j.finished = time.Time{}
+			} else {
+				j.done, j.total = spec.NumFaults, spec.NumFaults
+			}
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		if j.status == StatusQueued {
+			requeue = append(requeue, j)
+		}
+	}
+	if len(requeue) > cap(s.queue) {
+		return fmt.Errorf("server: %d unfinished jobs to recover, queue holds %d — raise QueueSize", len(requeue), cap(s.queue))
+	}
+	for _, j := range requeue {
+		s.queue <- j
+		s.gQueued.Add(1)
+		s.mRecovered.Inc()
+		s.cfg.Logf("job %s: recovered as queued (spec %s)", j.ID, j.SpecHash)
+	}
+	return nil
+}
+
+func parseRFC3339(s string) time.Time {
+	if s == "" {
+		return time.Time{}
+	}
+	t, err := time.Parse(time.RFC3339Nano, s)
+	if err != nil {
+		return time.Time{}
+	}
+	return t
+}
+
+// normalizeSpec applies the service's submission defaults — the same
+// values the faultcampaign CLI defaults its flags to — before the spec
+// is hashed or persisted, so the job's durable identity is the
+// effective spec, never an ambiguous zero.
+func normalizeSpec(spec campaign.Spec) campaign.Spec {
+	if spec.VCs == 0 {
+		spec.VCs = 4
+	}
+	if spec.PostInjectRun <= 0 {
+		spec.PostInjectRun = 500
+	}
+	if spec.DrainDeadline <= 0 {
+		spec.DrainDeadline = 10000
+	}
+	if spec.Epoch <= 0 {
+		spec.Epoch = 1500
+	}
+	if spec.HopLatency <= 0 {
+		spec.HopLatency = 1
+	}
+	return spec
+}
+
+// ErrQueueFull is returned (and mapped to 429) when the submission
+// queue is at capacity.
+var ErrQueueFull = errors.New("server: job queue is full")
+
+// errDraining is returned when the daemon is shutting down.
+var errDraining = errors.New("server: draining, not accepting jobs")
+
+// Submit validates, persists and enqueues a new job.
+func (s *Server) Submit(spec campaign.Spec) (*Job, error) {
+	spec = normalizeSpec(spec)
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	specJSON, err := json.Marshal(&spec)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errDraining
+	}
+	j := newJob(newJobID(), spec, time.Now())
+	// The manifest must be durable before the job is visible or
+	// runnable: a daemon killed right after the 201 response still
+	// knows the job on restart.
+	if err := trace.WriteJobState(s.cfg.Dir, &trace.JobState{
+		ID:          j.ID,
+		Spec:        specJSON,
+		SpecHash:    j.SpecHash,
+		Status:      trace.JobQueued,
+		SubmittedAt: rfc3339(j.submitted),
+	}); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		os.Remove(trace.JobStatePath(s.cfg.Dir, j.ID))
+		s.mRejected.Inc()
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.mu.Unlock()
+	s.mSubmitted.Inc()
+	s.gQueued.Add(1)
+	s.cfg.Logf("job %s: queued (spec %s, %d faults)", j.ID, j.SpecHash, spec.NumFaults)
+	return j, nil
+}
+
+// Job returns the job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// JobViews lists every known job in submission order.
+func (s *Server) JobViews() []View {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]View, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.view()
+	}
+	return out
+}
+
+// Cancel requests cancellation. A queued job goes terminal
+// immediately; a running one is canceled cooperatively (its completed
+// runs stay durable in the checkpoint). Terminal jobs return an error.
+func (s *Server) Cancel(id string) error {
+	j, ok := s.Job(id)
+	if !ok {
+		return fmt.Errorf("server: no job %s", id)
+	}
+	j.mu.Lock()
+	switch {
+	case j.status.Terminal():
+		st := j.status
+		j.mu.Unlock()
+		return fmt.Errorf("server: job %s is already %s", id, st)
+	case j.status == StatusRunning:
+		j.canceled = true
+		cancel := j.cancelRun
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return nil
+	default: // queued: terminal now; the worker skips it on dequeue
+		j.canceled = true
+		j.status = StatusCanceled
+		j.finished = time.Now()
+		j.publishLocked(Event{Type: "status", Job: j.ID, Status: StatusCanceled, Done: j.done, Total: j.total})
+		j.closeHubLocked()
+		j.mu.Unlock()
+		s.gQueued.Add(-1)
+		s.mCanceled.Inc()
+		s.persistTerminal(j)
+		s.cfg.Logf("job %s: canceled while queued", id)
+		return nil
+	}
+}
+
+// ReportPath returns the final report location for a done job.
+func (s *Server) ReportPath(id string) string { return trace.JobReportPath(s.cfg.Dir, id) }
+
+// Stop drains the server: no new submissions, running campaigns are
+// canceled cooperatively (every completed run is already durable in
+// its checkpoint, so nothing is lost), and the worker pool exits. The
+// ctx bounds how long Stop waits for in-flight runs to finish their
+// current faults.
+func (s *Server) Stop(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.stop()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain timed out: %w", ctx.Err())
+	}
+}
+
+// worker pulls jobs off the queue until drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job end to end against its durable checkpoint.
+func (s *Server) runJob(j *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.canceled || j.status.Terminal() {
+		// Canceled while queued; Cancel already persisted the state.
+		j.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.cancelRun = cancel
+	j.publishLocked(Event{Type: "snapshot", Job: j.ID, Status: StatusRunning, Done: j.done, Total: j.total})
+	j.mu.Unlock()
+	s.gQueued.Add(-1)
+	s.gRunning.Add(1)
+	defer s.gRunning.Add(-1)
+
+	err := s.execute(ctx, j)
+
+	j.mu.Lock()
+	canceled := j.canceled
+	j.cancelRun = nil
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		j.finished = time.Now()
+		j.errMsg = ""
+	case canceled && errors.Is(err, context.Canceled):
+		j.status = StatusCanceled
+		j.finished = time.Now()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Daemon drain, not a user cancel: the job stays durable as
+		// queued and resumes on the next start. In-memory it goes back
+		// to queued too, for a truthful /v1/jobs during shutdown.
+		j.status = StatusQueued
+		j.mu.Unlock()
+		s.cfg.Logf("job %s: interrupted by drain; checkpoint keeps %d completed runs", j.ID, j.done)
+		return
+	default:
+		j.status = StatusFailed
+		j.finished = time.Now()
+		j.errMsg = err.Error()
+	}
+	final := Event{Type: "status", Job: j.ID, Status: j.status, Done: j.done, Total: j.total, Resumed: j.resumed, Error: j.errMsg}
+	j.publishLocked(final)
+	j.closeHubLocked()
+	st := j.status
+	j.mu.Unlock()
+
+	switch st {
+	case StatusDone:
+		s.mDone.Inc()
+	case StatusFailed:
+		s.mFailed.Inc()
+	case StatusCanceled:
+		s.mCanceled.Inc()
+	}
+	s.persistTerminal(j)
+	s.cfg.Logf("job %s: %s", j.ID, st)
+}
+
+// execute plans the job as shard 0/1, resumes its checkpoint, runs the
+// remainder and writes the final report. Any error leaves the
+// checkpoint consistent for the next attempt.
+func (s *Server) execute(ctx context.Context, j *Job) error {
+	sh, err := campaign.PlanShard(j.Spec, 0, 1)
+	if err != nil {
+		return err
+	}
+	m, err := sh.Manifest()
+	if err != nil {
+		return err
+	}
+	ckptPath := trace.JobCheckpointPath(s.cfg.Dir, j.ID)
+	cp, completed, err := trace.ResumeCheckpoint(ckptPath, m)
+	if err != nil {
+		return err
+	}
+	defer cp.Close()
+
+	total := sh.End - sh.Start
+	j.mu.Lock()
+	j.total = total
+	j.resumed = len(completed)
+	j.done = len(completed)
+	if len(completed) > 0 {
+		// The resume jump: subscribers see the checkpoint's progress
+		// restored before any new run executes. No throughput fields —
+		// nothing has been measured yet (see campaign.EstimateETA).
+		j.publishLocked(Event{Type: "snapshot", Job: j.ID, Status: StatusRunning,
+			Done: j.done, Total: total, Resumed: j.resumed})
+	}
+	j.mu.Unlock()
+	if len(completed) > 0 {
+		s.cfg.Logf("job %s: resuming checkpoint with %d/%d recorded runs", j.ID, len(completed), total)
+	}
+
+	stats, err := campaign.RunShard(sh, cp, completed, campaign.ShardRunOptions{
+		Workers:       s.cfg.CampaignWorkers,
+		Metrics:       s.reg,
+		Context:       ctx,
+		VerifyResumed: s.cfg.VerifyResumed,
+		Progress: func(done, total int) {
+			fps := s.reg.Gauge(campaign.MetricFaultsPerSec).Value()
+			ev := Event{Type: "progress", Job: j.ID, Status: StatusRunning, Done: done, Total: total}
+			if eta, ok := campaign.EstimateETA(total-done, fps); ok {
+				ev.FaultsPerSec = fps
+				ev.ETASeconds = eta.Seconds()
+			}
+			j.mu.Lock()
+			j.done = done
+			ev.Resumed = j.resumed
+			j.publishLocked(ev)
+			j.mu.Unlock()
+		},
+	})
+	if stats != nil {
+		j.mu.Lock()
+		j.executed = stats.Executed
+		j.verified = stats.Verified
+		j.fastPath = stats.FastPathHits
+		j.mu.Unlock()
+	}
+	if err != nil {
+		return err
+	}
+	if !stats.Complete {
+		return fmt.Errorf("server: job %s checkpoint is incomplete after a clean run", j.ID)
+	}
+	if err := cp.Close(); err != nil {
+		return err
+	}
+	return s.writeReport(j, ckptPath)
+}
+
+// writeReport rebuilds the aggregated report from the finalized
+// checkpoint — the exact path a shard merge takes, which is what makes
+// the report byte-identical to an uninterrupted (or unsharded CLI)
+// run's WriteJSON output — and lands it atomically.
+func (s *Server) writeReport(j *Job, ckptPath string) error {
+	cd, err := trace.ReadCheckpointFile(ckptPath)
+	if err != nil {
+		return err
+	}
+	rep, err := campaign.ReportFromRecords(j.Spec, cd.Records)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		return err
+	}
+	return trace.AtomicWriteFile(trace.JobReportPath(s.cfg.Dir, j.ID), buf.Bytes())
+}
+
+// persistTerminal rewrites the job manifest with its terminal state.
+func (s *Server) persistTerminal(j *Job) {
+	v := j.view()
+	specJSON, err := json.Marshal(&v.Spec)
+	if err != nil {
+		s.cfg.Logf("job %s: persist: %v", j.ID, err)
+		return
+	}
+	if err := trace.WriteJobState(s.cfg.Dir, &trace.JobState{
+		ID:          j.ID,
+		Spec:        specJSON,
+		SpecHash:    v.SpecHash,
+		Status:      string(v.Status),
+		Error:       v.Error,
+		SubmittedAt: v.SubmittedAt,
+		FinishedAt:  v.FinishedAt,
+	}); err != nil {
+		s.cfg.Logf("job %s: persist: %v", j.ID, err)
+	}
+}

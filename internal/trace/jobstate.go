@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A job-state manifest is the durable identity of one daemon-managed
+// campaign job: which spec it runs, where its shard checkpoint lives,
+// and the last durable point of its lifecycle. It sits alongside the
+// checkpoint in the same state directory, so the directory alone is
+// enough for a restarted daemon to rebuild its whole job table:
+//
+//	<dir>/<id>.job.json    — this manifest (atomic rewrite on change)
+//	<dir>/<id>.ckpt.ndjson — the PR-3 shard checkpoint (append-only)
+//	<dir>/<id>.report.json — the final aggregated report (atomic write)
+//
+// Only durable transitions are recorded: a job is written as "queued"
+// at submit and rewritten when it reaches a terminal state. "running"
+// is deliberately not persisted — a daemon killed mid-run leaves the
+// manifest saying "queued", which is exactly what the restart scan
+// needs in order to re-enqueue the job and resume its checkpoint.
+
+// JobStateVersion is the job manifest format version.
+const JobStateVersion = 1
+
+// Durable job statuses. Terminal ones never change again.
+const (
+	JobQueued   = "queued"
+	JobDone     = "done"
+	JobFailed   = "failed"
+	JobCanceled = "canceled"
+)
+
+// JobState is the on-disk job manifest.
+type JobState struct {
+	Kind    string `json:"kind"` // always "job"
+	Version int    `json:"version"`
+	// ID names the job and prefixes its checkpoint and report files.
+	ID string `json:"id"`
+	// Spec is the full campaign specification (campaign.Spec JSON),
+	// embedded opaquely so this package does not depend on the campaign
+	// package (the same pattern as Manifest.Spec).
+	Spec json.RawMessage `json:"spec"`
+	// SpecHash fingerprints the spec; the runner cross-checks it before
+	// resuming the checkpoint under a rebuilt plan.
+	SpecHash string `json:"spec_hash"`
+	// Status is the last durable lifecycle point (Job* constants).
+	Status string `json:"status"`
+	// Error carries the failure cause when Status is JobFailed.
+	Error string `json:"error,omitempty"`
+	// SubmittedAt and FinishedAt are RFC3339 timestamps; FinishedAt is
+	// empty until the job reaches a terminal status.
+	SubmittedAt string `json:"submitted_at"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+}
+
+// Terminal reports whether the state can never change again.
+func (j *JobState) Terminal() bool {
+	return j.Status == JobDone || j.Status == JobFailed || j.Status == JobCanceled
+}
+
+const jobStateSuffix = ".job.json"
+
+// JobStatePath returns the manifest path for job id in dir.
+func JobStatePath(dir, id string) string { return filepath.Join(dir, id+jobStateSuffix) }
+
+// JobCheckpointPath returns the shard-checkpoint path for job id.
+func JobCheckpointPath(dir, id string) string { return filepath.Join(dir, id+".ckpt.ndjson") }
+
+// JobReportPath returns the final-report path for job id.
+func JobReportPath(dir, id string) string { return filepath.Join(dir, id+".report.json") }
+
+// WriteJobState durably writes the manifest for js.ID in dir: the
+// bytes land in a temp file first and are renamed into place, so a
+// kill at any instant leaves either the old manifest or the new one,
+// never a torn half-written line.
+func WriteJobState(dir string, js *JobState) error {
+	if js.ID == "" {
+		return fmt.Errorf("trace: job state has no ID")
+	}
+	if js.Kind == "" {
+		js.Kind = "job"
+	}
+	if js.Version == 0 {
+		js.Version = JobStateVersion
+	}
+	b, err := json.Marshal(js)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return AtomicWriteFile(JobStatePath(dir, js.ID), b)
+}
+
+// AtomicWriteFile writes data to path via a same-directory temp file
+// and rename, the standard crash-safe replacement idiom: a kill at any
+// instant leaves either the old file or the complete new one. The job
+// runner uses it for manifests and final reports alike.
+func AtomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// ReadJobState parses the manifest at path.
+func ReadJobState(path string) (*JobState, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var js JobState
+	if err := json.Unmarshal(b, &js); err != nil {
+		return nil, fmt.Errorf("trace: job state %s: %v", path, err)
+	}
+	if js.Kind != "job" {
+		return nil, fmt.Errorf("trace: job state %s: kind %q, want \"job\"", path, js.Kind)
+	}
+	if js.Version != JobStateVersion {
+		return nil, fmt.Errorf("trace: job state %s: version %d, want %d", path, js.Version, JobStateVersion)
+	}
+	if js.ID == "" {
+		return nil, fmt.Errorf("trace: job state %s: empty job ID", path)
+	}
+	switch js.Status {
+	case JobQueued, JobDone, JobFailed, JobCanceled:
+	default:
+		return nil, fmt.Errorf("trace: job state %s: unknown status %q", path, js.Status)
+	}
+	return &js, nil
+}
+
+// ListJobStates scans dir for job manifests and returns them ordered
+// by submission time (then ID, for a total order), which is the order
+// a restarted daemon re-enqueues unfinished jobs in. A missing dir is
+// an empty state store, not an error.
+func ListJobStates(dir string) ([]*JobState, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []*JobState
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, jobStateSuffix) {
+			continue
+		}
+		js, err := ReadJobState(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if want := name[:len(name)-len(jobStateSuffix)]; js.ID != want {
+			return nil, fmt.Errorf("trace: job state %s claims ID %q", name, js.ID)
+		}
+		out = append(out, js)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SubmittedAt != out[j].SubmittedAt {
+			return out[i].SubmittedAt < out[j].SubmittedAt
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}

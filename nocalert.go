@@ -475,6 +475,15 @@ const (
 	MetricCampaignRunSeconds   = campaign.MetricRunSeconds
 )
 
+// CampaignETA converts a live faults/sec reading into the expected
+// time to finish the remaining runs; ok is false when the rate is
+// degenerate (zero, negative, NaN or ±Inf — e.g. a throughput gauge
+// read before the first locally completed run of a resumed shard) and
+// no meaningful estimate exists.
+func CampaignETA(remaining int, faultsPerSec float64) (time.Duration, bool) {
+	return campaign.EstimateETA(remaining, faultsPerSec)
+}
+
 // RunTraceRecord is one NDJSON line of a campaign run trace (the
 // faultcampaign -trace format).
 type RunTraceRecord = trace.RunRecord
