@@ -14,7 +14,7 @@ GOLDEN_FLAGS = -mesh 4x4 -vcs 4 -rate 0.12 -seed 3 -inject 300 -post 400 \
 # merge — add tests instead.
 COVER_FLOOR = 85.0
 
-.PHONY: all build fmt vet lint test race cover e2e bench ci golden shardcheck
+.PHONY: all build fmt vet lint test race cover e2e bench benchcheck ci golden shardcheck
 
 all: ci
 
@@ -73,14 +73,27 @@ e2e:
 	$(GO) test -tags e2e ./e2e -v -timeout 20m
 
 # Campaign throughput baseline (faults/sec, ns/fault, allocs/fault),
-# plus a timestamped record appended to BENCH_4x4.json so the perf
+# plus timestamped records appended to BENCH_4x4.json so the perf
 # trajectory accumulates across revisions (the file is created on
-# first run — a fresh clone works). Format: see EXPERIMENTS.md.
+# first run — a fresh clone works): one serial row ("campaign") and one
+# with the worker pool at GOMAXPROCS ("campaign-parallel"). Format: see
+# EXPERIMENTS.md.
+BENCH_FLAGS = -mesh 4x4 -rate 0.12 -inject 300 -post 400 \
+	-drain 5000 -epoch 400 -faults 160 -seed 3 -fig none -progress=false
+
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkCampaignRun -benchtime 3x .
-	$(GO) run ./cmd/faultcampaign -mesh 4x4 -rate 0.12 -inject 300 -post 400 \
-		-drain 5000 -epoch 400 -faults 160 -seed 3 -fig none \
-		-progress=false -benchjson BENCH_4x4.json
+	$(GO) run ./cmd/faultcampaign $(BENCH_FLAGS) -workers 1 \
+		-benchjson BENCH_4x4.json
+	$(GO) run ./cmd/faultcampaign $(BENCH_FLAGS) -workers 0 \
+		-benchname campaign-parallel -benchjson BENCH_4x4.json
+
+# benchcheck is the perf regression gate: re-run the serial benchmark
+# campaign and fail if its faults/sec lands >30% below the latest
+# committed "campaign" row in BENCH_4x4.json. Nothing is appended.
+benchcheck:
+	$(GO) run ./cmd/faultcampaign $(BENCH_FLAGS) -workers 1 \
+		-benchbaseline BENCH_4x4.json
 
 # golden regenerates testdata/golden_4x4_seed3.json after an
 # intentional behaviour change; commit the diff it produces.

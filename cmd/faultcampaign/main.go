@@ -51,26 +51,29 @@ func main() {
 		return
 	}
 	var (
-		meshSpec = flag.String("mesh", "8x8", "mesh dimensions WxH")
-		vcs      = flag.Int("vcs", 4, "virtual channels per port")
-		rate     = flag.Float64("rate", 0.05, "injection rate (flits/node/cycle)")
-		inject   = flag.Int64("inject", 0, "fault-injection cycle (paper: 0 and 32000)")
-		nFaults  = flag.Int("faults", 1000, "fault sample size (0 = all locations)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		epoch    = flag.Int64("epoch", 1500, "ForEVeR epoch length in cycles")
-		post     = flag.Int64("post", 500, "cycles of continued injection after the fault")
-		drain    = flag.Int64("drain", 10000, "drain deadline in cycles")
-		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		figs     = flag.String("fig", "all", "figures to print: comma list of 6,7,8,9,obs3,obs5 or 'all'")
-		jsonPath = flag.String("json", "", "also export the aggregated results as JSON to this file")
-		benchOut = flag.String("benchjson", "", "write a campaign throughput record (faults/sec) as JSON to this file")
-		noFast   = flag.Bool("nofastpath", false, "disable the early-exit fast path for non-firing faults")
-		progress = flag.Bool("progress", true, "print campaign progress to stderr")
-		telAddr  = flag.String("telemetry", "", "serve live telemetry on this address (pprof at /debug/pprof/, expvar at /debug/vars, metrics at /metricsz)")
-		traceOut = flag.String("trace", "", "stream one NDJSON record per completed fault run to this file")
-		shardStr = flag.String("shard", "", "run only shard i/N of the campaign (0-based, e.g. 0/4) against a resumable checkpoint; requires -checkpoint")
-		ckptPath = flag.String("checkpoint", "", "shard checkpoint file (NDJSON); an existing one is resumed, a finished one is a no-op")
-		verifyN  = flag.Int("verify-resumed", 0, "recorded runs to re-execute and compare when resuming a checkpoint (0 = default sample, -1 = none)")
+		meshSpec  = flag.String("mesh", "8x8", "mesh dimensions WxH")
+		vcs       = flag.Int("vcs", 4, "virtual channels per port")
+		rate      = flag.Float64("rate", 0.05, "injection rate (flits/node/cycle)")
+		inject    = flag.Int64("inject", 0, "fault-injection cycle (paper: 0 and 32000)")
+		nFaults   = flag.Int("faults", 1000, "fault sample size (0 = all locations)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		epoch     = flag.Int64("epoch", 1500, "ForEVeR epoch length in cycles")
+		post      = flag.Int64("post", 500, "cycles of continued injection after the fault")
+		drain     = flag.Int64("drain", 10000, "drain deadline in cycles")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		figs      = flag.String("fig", "all", "figures to print: comma list of 6,7,8,9,obs3,obs5 or 'all'")
+		jsonPath  = flag.String("json", "", "also export the aggregated results as JSON to this file")
+		benchOut  = flag.String("benchjson", "", "write a campaign throughput record (faults/sec) as JSON to this file")
+		benchName = flag.String("benchname", "campaign", "name for the -benchjson record (e.g. campaign-parallel)")
+		benchBase = flag.String("benchbaseline", "", "compare this run's faults/sec against the latest matching record in FILE; exit non-zero on a >30% regression")
+		noFast    = flag.Bool("nofastpath", false, "disable the early-exit fast path for non-firing faults")
+		noReconv  = flag.Bool("no-reconverge", false, "disable golden-state reconvergence detection (fired faults always simulate their full window)")
+		progress  = flag.Bool("progress", true, "print campaign progress to stderr")
+		telAddr   = flag.String("telemetry", "", "serve live telemetry on this address (pprof at /debug/pprof/, expvar at /debug/vars, metrics at /metricsz)")
+		traceOut  = flag.String("trace", "", "stream one NDJSON record per completed fault run to this file")
+		shardStr  = flag.String("shard", "", "run only shard i/N of the campaign (0-based, e.g. 0/4) against a resumable checkpoint; requires -checkpoint")
+		ckptPath  = flag.String("checkpoint", "", "shard checkpoint file (NDJSON); an existing one is resumed, a finished one is a no-op")
+		verifyN   = flag.Int("verify-resumed", 0, "recorded runs to re-execute and compare when resuming a checkpoint (0 = default sample, -1 = none)")
 	)
 	flag.Parse()
 
@@ -131,7 +134,7 @@ func main() {
 			HopLatency:    1,
 			NumFaults:     *nFaults,
 		}
-		if err := runShardMode(ctx, spec, *shardStr, *ckptPath, *workers, *noFast, *verifyN, *progress, reg); err != nil {
+		if err := runShardMode(ctx, spec, *shardStr, *ckptPath, *workers, *noFast, *noReconv, *verifyN, *progress, reg); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -140,7 +143,7 @@ func main() {
 		log.Fatal("-checkpoint requires -shard i/N (use -shard 0/1 to checkpoint a whole campaign)")
 	}
 
-	var onResult func(i int, res *nocalert.CampaignResult, wall time.Duration, fast bool)
+	var onResult func(i int, res *nocalert.CampaignResult, wall time.Duration, exit nocalert.CampaignExitPath)
 	var tw *nocalert.RunTraceWriter
 	var traceFile *os.File
 	if *traceOut != "" {
@@ -149,8 +152,8 @@ func main() {
 			log.Fatal(err)
 		}
 		tw = nocalert.NewRunTraceWriter(traceFile)
-		onResult = func(i int, res *nocalert.CampaignResult, wall time.Duration, fast bool) {
-			rec := nocalert.CampaignRunRecord(i, res, wall, fast)
+		onResult = func(i int, res *nocalert.CampaignResult, wall time.Duration, exit nocalert.CampaignExitPath) {
+			rec := nocalert.CampaignRunRecord(i, res, wall, exit == nocalert.CampaignExitFastPath)
 			if err := tw.Write(&rec); err != nil {
 				log.Fatalf("trace: %v", err)
 			}
@@ -164,18 +167,19 @@ func main() {
 	}
 	start := time.Now()
 	rep, err := nocalert.RunCampaign(nocalert.CampaignOptions{
-		Sim:             simCfg,
-		InjectCycle:     *inject,
-		PostInjectRun:   *post,
-		DrainDeadline:   *drain,
-		Forever:         nocalert.ForeverOptions{Epoch: *epoch, HopLatency: 1},
-		Faults:          faults,
-		Workers:         *workers,
-		DisableFastPath: *noFast,
-		Progress:        report,
-		Metrics:         reg,
-		OnResult:        onResult,
-		Context:         ctx,
+		Sim:                  simCfg,
+		InjectCycle:          *inject,
+		PostInjectRun:        *post,
+		DrainDeadline:        *drain,
+		Forever:              nocalert.ForeverOptions{Epoch: *epoch, HopLatency: 1},
+		Faults:               faults,
+		Workers:              *workers,
+		DisableFastPath:      *noFast,
+		DisableReconvergence: *noReconv,
+		Progress:             report,
+		Metrics:              reg,
+		OnResult:             onResult,
+		Context:              ctx,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -190,14 +194,19 @@ func main() {
 		fmt.Printf("run trace: %d NDJSON records written to %s\n", tw.Records(), *traceOut)
 	}
 	wall := time.Since(start)
-	fmt.Printf("campaign: %d runs in %v; %d faults fired, %d caused network-correctness violations, %d fast-path exits\n\n",
-		len(rep.Results), wall.Round(time.Millisecond), rep.FiredCount(), rep.MaliciousCount(), rep.FastPathHits)
+	fmt.Printf("campaign: %d runs in %v; %d faults fired, %d caused network-correctness violations, %d fast-path exits, %d reconverged\n\n",
+		len(rep.Results), wall.Round(time.Millisecond), rep.FiredCount(), rep.MaliciousCount(), rep.FastPathHits, rep.ReconvergedHits)
 
 	if *benchOut != "" {
-		if err := writeBenchRecord(*benchOut, *meshSpec, rep, *workers, wall); err != nil {
+		if err := writeBenchRecord(*benchOut, *benchName, *meshSpec, rep, *workers, wall); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("throughput record appended to %s\n\n", *benchOut)
+	}
+	if *benchBase != "" {
+		if err := checkBenchBaseline(*benchBase, *benchName, len(rep.Results), wall); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	printFigures(rep, *figs)
@@ -330,6 +339,7 @@ type benchRecord struct {
 	Mesh         string  `json:"mesh"`
 	Faults       int     `json:"faults"`
 	FastPathHits int     `json:"fast_path_hits"`
+	Reconverged  int     `json:"reconverged"`
 	Workers      int     `json:"workers"`
 	GOMAXPROCS   int     `json:"gomaxprocs"`
 	WallSeconds  float64 `json:"wall_seconds"`
@@ -340,16 +350,17 @@ type benchRecord struct {
 // repeated runs accumulate a perf trajectory. Existing files are kept:
 // a JSON array is extended in place, and the legacy shape (one or more
 // concatenated JSON objects) is absorbed into the array form.
-func writeBenchRecord(path, mesh string, rep *nocalert.CampaignReport, workers int, wall time.Duration) error {
+func writeBenchRecord(path, name, mesh string, rep *nocalert.CampaignReport, workers int, wall time.Duration) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	r := benchRecord{
-		Name:         "campaign",
+		Name:         name,
 		Timestamp:    time.Now().UTC().Format(time.RFC3339),
 		Mesh:         mesh,
 		Faults:       len(rep.Results),
 		FastPathHits: rep.FastPathHits,
+		Reconverged:  rep.ReconvergedHits,
 		Workers:      workers,
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		WallSeconds:  wall.Seconds(),
@@ -383,6 +394,41 @@ func writeBenchRecord(path, mesh string, rep *nocalert.CampaignReport, workers i
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// checkBenchBaseline compares this run's throughput against the latest
+// record named name in the baseline trajectory file and fails on a >30%
+// regression — the `make benchcheck` gate.
+func checkBenchBaseline(path, name string, faults int, wall time.Duration) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("benchbaseline: %v", err)
+	}
+	var records []benchRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		return fmt.Errorf("benchbaseline: cannot parse %s: %v", path, err)
+	}
+	var base *benchRecord
+	for i := range records {
+		if records[i].Name == name {
+			base = &records[i]
+		}
+	}
+	if base == nil {
+		return fmt.Errorf("benchbaseline: %s has no record named %q", path, name)
+	}
+	got := 0.0
+	if s := wall.Seconds(); s > 0 {
+		got = float64(faults) / s
+	}
+	floor := 0.7 * base.FaultsPerSec
+	fmt.Printf("benchcheck: %.1f faults/sec vs baseline %.1f (%s, %s); floor %.1f\n",
+		got, base.FaultsPerSec, base.Name, base.Timestamp, floor)
+	if got < floor {
+		return fmt.Errorf("benchbaseline: throughput %.1f faults/sec is >30%% below the committed baseline %.1f (%s)",
+			got, base.FaultsPerSec, path)
+	}
+	return nil
 }
 
 func totalBits(p nocalert.FaultParams) int {

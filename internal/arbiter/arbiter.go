@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"nocalert/internal/bitvec"
+	"nocalert/internal/statehash"
 )
 
 // Arbiter grants one of up to Width() concurrent requests per invocation.
@@ -27,6 +28,11 @@ type Arbiter interface {
 	Arbitrate(req bitvec.Vec) bitvec.Vec
 	// Clone returns an independent copy with identical priority state.
 	Clone() Arbiter
+	// FoldState folds the arbiter's priority state into a
+	// state-fingerprint accumulator (see internal/statehash). Two
+	// arbiters of the same construction whose folds agree grant
+	// identically forever.
+	FoldState(h uint64) uint64
 }
 
 // Reclone returns a copy of src with identical priority state, adopting
@@ -90,6 +96,11 @@ func (a *RoundRobin) Arbitrate(req bitvec.Vec) bitvec.Vec {
 func (a *RoundRobin) Clone() Arbiter {
 	c := *a
 	return &c
+}
+
+// FoldState implements Arbiter.
+func (a *RoundRobin) FoldState(h uint64) uint64 {
+	return statehash.FoldInt(h, a.next)
 }
 
 // Matrix is a matrix arbiter: an anti-symmetric priority matrix where
@@ -156,4 +167,12 @@ func (m *Matrix) Clone() Arbiter {
 	c := &Matrix{width: m.width, beats: make([]bitvec.Vec, m.width)}
 	copy(c.beats, m.beats)
 	return c
+}
+
+// FoldState implements Arbiter.
+func (m *Matrix) FoldState(h uint64) uint64 {
+	for _, b := range m.beats {
+		h = statehash.Fold(h, uint64(b))
+	}
+	return h
 }

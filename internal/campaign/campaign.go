@@ -64,6 +64,37 @@ func (o Outcome) String() string {
 	return fmt.Sprintf("Outcome(%d)", int(o))
 }
 
+// ExitPath identifies how a run reached its result. The three paths are
+// result-equivalent — reports are byte-identical whichever path resolves
+// a run — but differ enormously in cost, so campaigns count them.
+type ExitPath int
+
+const (
+	// ExitFull: the run simulated PostInjectRun, drain and ForEVeR
+	// horizon end to end.
+	ExitFull ExitPath = iota
+	// ExitFastPath: every fault of the group provably expired without
+	// firing; the result was copied from the fault-free template.
+	ExitFastPath
+	// ExitReconverged: the fault fired but its perturbation washed out —
+	// the faulty state matched the golden run's recorded fingerprint mid
+	// window, so the tail was synthesized instead of simulated.
+	ExitReconverged
+)
+
+// String returns a short name for the exit path.
+func (e ExitPath) String() string {
+	switch e {
+	case ExitFull:
+		return "full"
+	case ExitFastPath:
+		return "fastpath"
+	case ExitReconverged:
+		return "reconverged"
+	}
+	return fmt.Sprintf("ExitPath(%d)", int(e))
+}
+
 func classify(detected, malicious bool) Outcome {
 	switch {
 	case detected && malicious:
@@ -105,8 +136,22 @@ type Options struct {
 	// DisableFastPath forces every run down the full simulate-and-
 	// compare path even when its fault provably never fired. The fast
 	// path is bit-identical to the slow path; this switch exists for
-	// verification and benchmarking.
+	// verification and benchmarking. Disabling it also disables
+	// reconvergence detection (which shares the fast path's template).
 	DisableFastPath bool
+	// DisableReconvergence turns off golden-state reconvergence
+	// detection: the golden run records no per-cycle fingerprint and
+	// every fired fault simulates its full window, drain and horizon.
+	// Reconverged results are byte-identical to fully simulated ones
+	// (test-enforced); this switch exists for verification, for
+	// measuring the fingerprint overhead, and as an escape hatch.
+	DisableReconvergence bool
+	// DisableForever runs the campaign without a ForEVeR monitor: the
+	// golden run and every faulty run skip the baseline entirely, and
+	// finishRun skips the post-drain horizon run-out that exists only to
+	// give ForEVeR's epoch check a chance to fire. ForEVeR result fields
+	// report not-detected. NoCAlert and Cautious results are unaffected.
+	DisableForever bool
 	// Progress, when non-nil, is invoked after each completed run with
 	// the number of finished runs and the total. Calls are serialized;
 	// the callback must not call back into the campaign.
@@ -118,13 +163,13 @@ type Options struct {
 	// hot path free of any telemetry cost.
 	Metrics *metrics.Registry
 	// OnResult, when non-nil, is invoked after each completed run with
-	// the run's index in FaultGroups, its result, its wall time and
-	// whether the fast path resolved it. Calls are serialized under the
-	// same mutex as Progress (and precede the Progress call for the
-	// same run); the result pointer is only valid during the call if
-	// the caller mutates the report afterwards — copy, don't retain.
-	// The faultcampaign CLI streams its NDJSON run trace from here.
-	OnResult func(index int, res *RunResult, wall time.Duration, fastPath bool)
+	// the run's index in FaultGroups, its result, its wall time and the
+	// exit path that resolved it. Calls are serialized under the same
+	// mutex as Progress (and precede the Progress call for the same
+	// run); the result pointer is only valid during the call if the
+	// caller mutates the report afterwards — copy, don't retain. The
+	// faultcampaign CLI streams its NDJSON run trace from here.
+	OnResult func(index int, res *RunResult, wall time.Duration, exit ExitPath)
 	// Context, when non-nil, cancels the campaign cooperatively: no new
 	// runs start after it is done and Run returns its error. Runs
 	// already in flight complete first.
@@ -219,6 +264,11 @@ type Report struct {
 	// (fault provably never fired; result synthesized from the
 	// fault-free template instead of simulating drain and horizon).
 	FastPathHits int
+	// ReconvergedHits counts runs whose fault fired but whose state
+	// reconverged with the golden run's recorded fingerprint before the
+	// post-injection window ended; their tails were synthesized from the
+	// golden record instead of simulated.
+	ReconvergedHits int
 }
 
 // worker holds the per-worker reusable state: a CloneInto target
@@ -243,22 +293,42 @@ func Run(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	warm.AttachMonitor(forever.NewMonitor(warm.RouterConfig(), o.Forever))
+	if !o.DisableForever {
+		warm.AttachMonitor(forever.NewMonitor(warm.RouterConfig(), o.Forever))
+	}
 	for warm.Cycle() < o.InjectCycle {
 		warm.Step()
 	}
 	base := warm.Clone(nil)
 
 	goldenNet := warm // continues fault-free
-	goldenNet.Run(o.PostInjectRun)
+	wantReconv := !o.DisableFastPath && !o.DisableReconvergence
+	var tl *golden.Timeline
+	if wantReconv {
+		// Record the golden run's per-cycle state fingerprints through
+		// the post-injection window — the timeline faulty runs compare
+		// against once their fault plane goes quiescent. Recording is
+		// a one-time cost on the golden run only; with reconvergence
+		// disabled the plain Run loop below is untouched.
+		tl = golden.NewTimeline(int(o.PostInjectRun))
+		ejStart := len(goldenNet.Ejections())
+		for t := int64(0); t < o.PostInjectRun; t++ {
+			goldenNet.Step()
+			tl.Observe(goldenNet, goldenNet.Ejections()[ejStart:])
+		}
+	} else {
+		goldenNet.Run(o.PostInjectRun)
+	}
 	goldenDrained := goldenNet.Drain(o.DrainDeadline)
 	if !goldenDrained {
 		return nil, fmt.Errorf("campaign: fault-free golden run failed to drain by cycle %d (inflight=%d)",
 			goldenNet.Cycle(), goldenNet.InFlight())
 	}
-	runHorizonExtra := foreverHorizon(goldenNet.Cycle(), o.Forever)
-	for goldenNet.Cycle() < runHorizonExtra {
-		goldenNet.Step()
+	if !o.DisableForever {
+		runHorizonExtra := foreverHorizon(goldenNet.Cycle(), o.Forever)
+		for goldenNet.Cycle() < runHorizonExtra {
+			goldenNet.Step()
+		}
 	}
 	goldenLog := golden.FromEjections(goldenNet.Ejections(), o.InjectCycle)
 	gfv := findForever(goldenNet)
@@ -275,6 +345,26 @@ func Run(opts Options) (*Report, error) {
 		tmpl = runSlow(&tw, base, goldenLog, o, nil)
 	}
 
+	// Reconvergence context for the workers. The synthesis shortcut is
+	// only sound when the golden continuation is clean: no NoCAlert
+	// assertion anywhere in the fault-free template (so freezing the
+	// engine at the reconvergence cycle loses nothing), a benign
+	// golden-vs-golden verdict, and — when ForEVeR is on — a golden
+	// monitor whose detection list stayed under its cap (so the recorded
+	// tail is complete). All of these hold for any sanely configured
+	// campaign; if one does not, reconvergence silently disables and
+	// every fired fault takes the full path.
+	var rc *reconvergence
+	if wantReconv {
+		sound := !tmpl.Detected && tmpl.Drained && tmpl.Verdict.OK()
+		if !o.DisableForever {
+			sound = sound && gfv != nil && len(gfv.Detections()) < forever.DetectionCap
+		}
+		if sound {
+			rc = &reconvergence{tl: tl, gfv: gfv, verdict: tmpl.Verdict}
+		}
+	}
+
 	report := &Report{
 		Opts:                       o,
 		GoldenEjections:            goldenLog.Total(),
@@ -283,10 +373,11 @@ func Run(opts Options) (*Report, error) {
 	}
 
 	var (
-		wg       sync.WaitGroup
-		progMu   sync.Mutex
-		done     int
-		fastHits int
+		wg         sync.WaitGroup
+		progMu     sync.Mutex
+		done       int
+		fastHits   int
+		reconvHits int
 	)
 	total := len(o.FaultGroups)
 	var inst *instruments
@@ -309,7 +400,7 @@ func Run(opts Options) (*Report, error) {
 				if needTiming {
 					runStart = time.Now()
 				}
-				res, fast := runOne(&wk, base, goldenLog, &tmpl, o, o.FaultGroups[i])
+				res, exit, convCycles := runOne(&wk, base, goldenLog, &tmpl, rc, o, o.FaultGroups[i])
 				var wall time.Duration
 				if needTiming {
 					wall = time.Since(runStart)
@@ -317,14 +408,17 @@ func Run(opts Options) (*Report, error) {
 				report.Results[i] = res
 				progMu.Lock()
 				done++
-				if fast {
+				switch exit {
+				case ExitFastPath:
 					fastHits++
+				case ExitReconverged:
+					reconvHits++
 				}
 				if inst != nil {
-					inst.observe(&report.Results[i], wall, fast, done, time.Since(campaignStart))
+					inst.observe(&report.Results[i], wall, exit, convCycles, done, time.Since(campaignStart))
 				}
 				if o.OnResult != nil {
-					o.OnResult(i, &report.Results[i], wall, fast)
+					o.OnResult(i, &report.Results[i], wall, exit)
 				}
 				if o.Progress != nil {
 					o.Progress(done, total)
@@ -350,6 +444,7 @@ feed:
 		return nil, ctxErr
 	}
 	report.FastPathHits = fastHits
+	report.ReconvergedHits = reconvHits
 	return report, nil
 }
 
@@ -375,13 +470,38 @@ func findForever(n *sim.Network) *forever.Monitor {
 	return nil
 }
 
+// reconvergence bundles the golden-side state the workers' reconvergence
+// check consults: the per-cycle fingerprint timeline, the golden ForEVeR
+// monitor (for synthesizing the detection tail) and the benign
+// golden-vs-golden verdict reconverged runs inherit.
+type reconvergence struct {
+	tl      *golden.Timeline
+	gfv     *forever.Monitor
+	verdict golden.Verdict
+}
+
+// reconvBackoffCap bounds the exponential backoff between full
+// fingerprint attempts. Reconvergence is absorbing — once the faulty
+// state equals golden's it stays equal — so skipping candidate cycles
+// after a failed attempt never loses a match, it only detects it a few
+// cycles later; the backoff keeps permanently diverged runs (whose
+// cheap counters may still match) from paying a full state hash every
+// remaining cycle of the window.
+const reconvBackoffCap = 16
+
 // runOne executes one fault group's run. When the fast path is enabled
 // and every fault of the group provably expired without firing, the
 // remaining simulation is skipped and the fault-free template result is
-// returned (fast=true); the template is exact because an inert plane's
-// run is bit-identical to the fault-free continuation from the same
-// base state.
-func runOne(w *worker, base *sim.Network, goldenLog *golden.Log, tmpl *RunResult, o Options, group []fault.Fault) (res RunResult, fast bool) {
+// returned (ExitFastPath); the template is exact because an inert
+// plane's run is bit-identical to the fault-free continuation from the
+// same base state. Otherwise, once the plane is quiescent (fired, but
+// can never fire again), each cycle's state is compared against the
+// golden timeline; on a fingerprint match with matching ejection
+// history the rest of the run is provably identical to golden's, so
+// the result is synthesized (ExitReconverged) instead of simulated.
+// convCycles is the reconvergence latency (cycles after injection);
+// zero for the other exit paths.
+func runOne(w *worker, base *sim.Network, goldenLog *golden.Log, tmpl *RunResult, rc *reconvergence, o Options, group []fault.Fault) (res RunResult, exit ExitPath, convCycles int64) {
 	if !o.DisableFastPath {
 		plane := fault.NewPlane(group...)
 		n := base.CloneInto(w.net, plane)
@@ -392,18 +512,127 @@ func runOne(w *worker, base *sim.Network, goldenLog *golden.Log, tmpl *RunResult
 		if fv != nil {
 			fv.ClearDetections()
 		}
+		var nextTry int64 // earliest cycle for the next full fingerprint
+		gap := int64(1)
 		for t := int64(0); t < o.PostInjectRun; t++ {
 			n.Step()
 			if n.FaultsInert() {
 				res = *tmpl
 				res.Fault = group[0]
 				res.Group = group
-				return res, true
+				return res, ExitFastPath, 0
 			}
+			if rc == nil || !n.FaultsQuiescent() || n.Cycle() < nextTry {
+				continue
+			}
+			pt, ok := rc.tl.At(n.Cycle())
+			if !ok || !countersMatch(n, &pt) {
+				continue
+			}
+			if n.Fingerprint() == pt.State &&
+				golden.EjectionsHash(n.Ejections()) == pt.EjectHash {
+				return synthesizeReconverged(n, eng, fv, rc, plane, o, group),
+					ExitReconverged, n.Cycle() - o.InjectCycle
+			}
+			// Counters agreed but state did not (the perturbation is
+			// still washing out, or the run diverged for good with
+			// conserved flit counts): back off before hashing again.
+			if gap < reconvBackoffCap {
+				gap *= 2
+			}
+			nextTry = n.Cycle() + gap
 		}
-		return finishRun(n, eng, fv, plane, goldenLog, o, group, w), false
+		return finishRun(n, eng, fv, plane, goldenLog, o, group, w), ExitFull, 0
 	}
-	return runSlow(w, base, goldenLog, o, group), false
+	return runSlow(w, base, goldenLog, o, group), ExitFull, 0
+}
+
+// countersMatch is the cheap precheck run before paying for a full
+// fingerprint: a faulty run still carrying divergent traffic almost
+// always disagrees with golden on one of these counters, so rejecting
+// on them first keeps the per-cycle reconvergence probe at a few
+// integer compares.
+func countersMatch(n *sim.Network, pt *golden.TimelinePoint) bool {
+	return n.FlitsInjected() == pt.FlitsInjected &&
+		n.FlitsEjected() == pt.FlitsEjected &&
+		n.NextPacketID() == pt.NextPkt &&
+		len(n.Ejections()) == pt.Ejections
+}
+
+// synthesizeReconverged builds the run's result at the reconvergence
+// cycle without simulating the rest of the window, the drain or the
+// ForEVeR horizon. Soundness: the state fingerprint and ejection-prefix
+// match prove the faulty run's past delivered exactly golden's flits
+// and its future will replay golden's cycles bit for bit. Hence the
+// verdict is the benign golden-vs-golden verdict; the drain succeeds
+// exactly as golden's did; the NoCAlert engine — whose checkers are
+// purely combinational per cycle — can assert nothing in the golden
+// replay (the fault-free template run detected nothing, a campaign
+// precondition checked in Run), so its aggregates are already final;
+// and ForEVeR's counter state, a function of the injection and ejection
+// histories alone, equals the golden monitor's, so its future flags are
+// the golden monitor's recorded tail.
+func synthesizeReconverged(n *sim.Network, eng *core.Engine, fv *forever.Monitor, rc *reconvergence, plane *fault.Plane, o Options, group []fault.Fault) RunResult {
+	fired := false
+	for i := range group {
+		if plane.FiredAt(i) >= 0 {
+			fired = true
+			break
+		}
+	}
+	res := RunResult{
+		Group:   group,
+		Fired:   fired,
+		Verdict: rc.verdict,
+		Drained: true,
+
+		Detected:    eng.Detected(),
+		DetectCycle: eng.FirstDetection(),
+
+		CheckersFired:      eng.FiredCheckers(),
+		FirstCycleCheckers: eng.FirstCycleCheckers(),
+		SimultaneityHist:   eng.SimultaneityHistogram(),
+	}
+	if len(group) > 0 {
+		res.Fault = group[0]
+	}
+	// The verdict is benign by construction, so malicious is false in
+	// every classification below.
+	res.Outcome = classify(res.Detected, false)
+	if res.Detected {
+		res.Latency = res.DetectCycle - o.InjectCycle
+	} else {
+		res.Latency = -1
+	}
+
+	res.CautiousDetected = eng.FirstHighRiskDetection() >= 0
+	res.CautiousOutcome = classify(res.CautiousDetected, false)
+	if res.CautiousDetected {
+		res.CautiousLatency = eng.FirstHighRiskDetection() - o.InjectCycle
+	} else {
+		res.CautiousLatency = -1
+	}
+
+	if fv != nil {
+		// Flags the faulty monitor raised during the divergent window
+		// come first; past the reconvergence cycle the faulty run would
+		// flag exactly when the golden monitor did, so the recorded
+		// golden tail completes the picture.
+		fd := fv.FirstDetectionAfter(o.InjectCycle)
+		if fd < 0 && rc.gfv != nil {
+			fd = rc.gfv.FirstDetectionAfter(n.Cycle())
+		}
+		res.ForeverDetected = fd >= 0
+		if res.ForeverDetected {
+			res.ForeverLatency = fd - o.InjectCycle
+		} else {
+			res.ForeverLatency = -1
+		}
+	} else {
+		res.ForeverLatency = -1
+	}
+	res.ForeverOutcome = classify(res.ForeverDetected, false)
+	return res
 }
 
 // runSlow executes one run end to end with no early exit. A nil group
@@ -424,12 +653,18 @@ func runSlow(w *worker, base *sim.Network, goldenLog *golden.Log, o Options, gro
 }
 
 // finishRun drains the network, runs out the ForEVeR horizon, and
-// classifies the run against the golden reference.
+// classifies the run against the golden reference. The horizon run-out
+// exists only to give ForEVeR's epoch check a chance to flag anomalies
+// after the drain, so it is skipped when no monitor is attached and the
+// drain succeeded (an undrained network still steps to the horizon: the
+// extra cycles can surface NoCAlert assertions on stuck traffic).
 func finishRun(n *sim.Network, eng *core.Engine, fv *forever.Monitor, plane *fault.Plane, goldenLog *golden.Log, o Options, group []fault.Fault, w *worker) RunResult {
 	drained := n.Drain(o.DrainDeadline)
-	horizon := foreverHorizon(n.Cycle(), o.Forever)
-	for n.Cycle() < horizon {
-		n.Step()
+	if fv != nil || !drained {
+		horizon := foreverHorizon(n.Cycle(), o.Forever)
+		for n.Cycle() < horizon {
+			n.Step()
+		}
 	}
 
 	w.flog = golden.FromEjectionsInto(w.flog, n.Ejections(), o.InjectCycle)

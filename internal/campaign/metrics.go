@@ -17,9 +17,21 @@ const (
 	// report.
 	MetricRunsExpected = "campaign_runs_expected"
 	// MetricFastPathHits / MetricFastPathMisses split completed runs by
-	// whether the early-exit fast path resolved them.
+	// whether the early-exit fast path resolved them. Reconverged runs
+	// count as fast-path misses (their fault fired); the two counters
+	// below split the misses further.
 	MetricFastPathHits   = "campaign_fastpath_hits_total"
 	MetricFastPathMisses = "campaign_fastpath_misses_total"
+	// MetricReconvergenceHits counts runs ended early because their
+	// post-fault state reconverged with the golden run's recorded
+	// fingerprint; MetricFullSimRuns counts runs that simulated window,
+	// drain and horizon end to end. hits + reconvergence + full = runs.
+	MetricReconvergenceHits = "campaign_reconvergence_hits_total"
+	MetricFullSimRuns       = "campaign_fullsim_runs_total"
+	// MetricReconvergenceCycles is the histogram of reconvergence
+	// latencies: cycles from injection until the state fingerprint
+	// matched golden's (exponential buckets 1 … 32768 cycles).
+	MetricReconvergenceCycles = "campaign_reconvergence_cycles"
 	// MetricFaultsPerSec is the live throughput gauge, updated under
 	// the progress mutex after every completed run.
 	MetricFaultsPerSec = "campaign_faults_per_sec"
@@ -53,33 +65,42 @@ func OutcomeMetricName(m Mechanism, o Outcome) string {
 // runSecondsBounds is the MetricRunSeconds bucket layout.
 var runSecondsBounds = metrics.ExponentialBounds(0.001, 2, 16)
 
+// reconvCyclesBounds is the MetricReconvergenceCycles bucket layout.
+var reconvCyclesBounds = metrics.ExponentialBounds(1, 2, 16)
+
 // instruments holds the pre-resolved campaign instruments so the
 // per-run path does one pointer hop per update instead of a registry
 // lookup.
 type instruments struct {
-	runs       *metrics.Counter
-	fastHits   *metrics.Counter
-	fastMisses *metrics.Counter
-	fired      *metrics.Counter
-	verdictOK  *metrics.Counter
-	verdictMal *metrics.Counter
-	verdictUnb *metrics.Counter
-	outcomes   [len(mechMetricNames)][len(outcomeMetricNames)]*metrics.Counter
-	runSeconds *metrics.Histogram
-	faultsPS   *metrics.Gauge
+	runs         *metrics.Counter
+	fastHits     *metrics.Counter
+	fastMisses   *metrics.Counter
+	reconvHits   *metrics.Counter
+	fullRuns     *metrics.Counter
+	fired        *metrics.Counter
+	verdictOK    *metrics.Counter
+	verdictMal   *metrics.Counter
+	verdictUnb   *metrics.Counter
+	outcomes     [len(mechMetricNames)][len(outcomeMetricNames)]*metrics.Counter
+	runSeconds   *metrics.Histogram
+	reconvCycles *metrics.Histogram
+	faultsPS     *metrics.Gauge
 }
 
 func newInstruments(reg *metrics.Registry, workers, totalRuns int) *instruments {
 	in := &instruments{
-		runs:       reg.Counter(MetricRuns),
-		fastHits:   reg.Counter(MetricFastPathHits),
-		fastMisses: reg.Counter(MetricFastPathMisses),
-		fired:      reg.Counter(MetricFired),
-		verdictOK:  reg.Counter(MetricVerdictOK),
-		verdictMal: reg.Counter(MetricVerdictMalicious),
-		verdictUnb: reg.Counter(MetricVerdictUnbounded),
-		runSeconds: reg.Histogram(MetricRunSeconds, runSecondsBounds),
-		faultsPS:   reg.Gauge(MetricFaultsPerSec),
+		runs:         reg.Counter(MetricRuns),
+		fastHits:     reg.Counter(MetricFastPathHits),
+		fastMisses:   reg.Counter(MetricFastPathMisses),
+		reconvHits:   reg.Counter(MetricReconvergenceHits),
+		fullRuns:     reg.Counter(MetricFullSimRuns),
+		fired:        reg.Counter(MetricFired),
+		verdictOK:    reg.Counter(MetricVerdictOK),
+		verdictMal:   reg.Counter(MetricVerdictMalicious),
+		verdictUnb:   reg.Counter(MetricVerdictUnbounded),
+		runSeconds:   reg.Histogram(MetricRunSeconds, runSecondsBounds),
+		reconvCycles: reg.Histogram(MetricReconvergenceCycles, reconvCyclesBounds),
+		faultsPS:     reg.Gauge(MetricFaultsPerSec),
 	}
 	for m := range in.outcomes {
 		for o := range in.outcomes[m] {
@@ -94,12 +115,18 @@ func newInstruments(reg *metrics.Registry, workers, totalRuns int) *instruments 
 // observe records one completed run. Called under the progress mutex,
 // so done/elapsed form a consistent throughput sample; the instruments
 // themselves are atomic and need no lock.
-func (in *instruments) observe(res *RunResult, wall time.Duration, fast bool, done int, elapsed time.Duration) {
+func (in *instruments) observe(res *RunResult, wall time.Duration, exit ExitPath, convCycles int64, done int, elapsed time.Duration) {
 	in.runs.Inc()
-	if fast {
+	switch exit {
+	case ExitFastPath:
 		in.fastHits.Inc()
-	} else {
+	case ExitReconverged:
 		in.fastMisses.Inc()
+		in.reconvHits.Inc()
+		in.reconvCycles.Observe(float64(convCycles))
+	default:
+		in.fastMisses.Inc()
+		in.fullRuns.Inc()
 	}
 	if res.Fired {
 		in.fired.Inc()

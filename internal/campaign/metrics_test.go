@@ -24,7 +24,7 @@ func TestCampaignMetricsMatchReport(t *testing.T) {
 	reg := metrics.NewRegistry()
 	type seen struct {
 		wall time.Duration
-		fast bool
+		exit ExitPath
 	}
 	results := make(map[int]seen)
 	rep, err := Run(Options{
@@ -35,11 +35,11 @@ func TestCampaignMetricsMatchReport(t *testing.T) {
 		Forever:       forever.Options{Epoch: 250, HopLatency: 1},
 		Faults:        faults,
 		Metrics:       reg,
-		OnResult: func(i int, res *RunResult, wall time.Duration, fastPath bool) {
+		OnResult: func(i int, res *RunResult, wall time.Duration, exit ExitPath) {
 			if _, dup := results[i]; dup {
 				t.Errorf("OnResult called twice for index %d", i)
 			}
-			results[i] = seen{wall: wall, fast: fastPath}
+			results[i] = seen{wall: wall, exit: exit}
 		},
 	})
 	if err != nil {
@@ -49,17 +49,23 @@ func TestCampaignMetricsMatchReport(t *testing.T) {
 	if len(results) != len(faults) {
 		t.Fatalf("OnResult fired for %d runs, want %d", len(results), len(faults))
 	}
-	fastSeen := 0
+	fastSeen, reconvSeen := 0, 0
 	for i, s := range results {
 		if s.wall <= 0 {
 			t.Fatalf("run %d has non-positive wall time %v", i, s.wall)
 		}
-		if s.fast {
+		switch s.exit {
+		case ExitFastPath:
 			fastSeen++
+		case ExitReconverged:
+			reconvSeen++
 		}
 	}
 	if fastSeen != rep.FastPathHits {
 		t.Fatalf("OnResult fastPath count %d != report FastPathHits %d", fastSeen, rep.FastPathHits)
+	}
+	if reconvSeen != rep.ReconvergedHits {
+		t.Fatalf("OnResult reconverged count %d != report ReconvergedHits %d", reconvSeen, rep.ReconvergedHits)
 	}
 
 	counter := func(name string) int64 { return reg.Counter(name).Value() }
@@ -71,6 +77,16 @@ func TestCampaignMetricsMatchReport(t *testing.T) {
 	}
 	if got := counter(MetricFastPathMisses); got != int64(len(faults)-rep.FastPathHits) {
 		t.Fatalf("%s = %d, want %d", MetricFastPathMisses, got, len(faults)-rep.FastPathHits)
+	}
+	if got := counter(MetricReconvergenceHits); got != int64(rep.ReconvergedHits) {
+		t.Fatalf("%s = %d, want %d", MetricReconvergenceHits, got, rep.ReconvergedHits)
+	}
+	wantFull := len(faults) - rep.FastPathHits - rep.ReconvergedHits
+	if got := counter(MetricFullSimRuns); got != int64(wantFull) {
+		t.Fatalf("%s = %d, want %d", MetricFullSimRuns, got, wantFull)
+	}
+	if got := reg.Histogram(MetricReconvergenceCycles, reconvCyclesBounds).Count(); got != int64(rep.ReconvergedHits) {
+		t.Fatalf("%s count = %d, want %d", MetricReconvergenceCycles, got, rep.ReconvergedHits)
 	}
 	if got := counter(MetricFired); got != int64(rep.FiredCount()) {
 		t.Fatalf("%s = %d, want %d", MetricFired, got, rep.FiredCount())

@@ -29,10 +29,15 @@ type ShardRunOptions struct {
 	Workers int
 	// DisableFastPath forces full simulation of every run.
 	DisableFastPath bool
+	// DisableReconvergence turns off golden-state reconvergence
+	// detection (see Options.DisableReconvergence).
+	DisableReconvergence bool
 	// Progress, when non-nil, is invoked after each newly executed run
-	// with the shard-level completion count (resumed runs included) and
-	// the shard's total run count.
-	Progress func(done, total int)
+	// with the shard-level completion count (resumed runs included), the
+	// shard's total run count and a snapshot of the running stats (for
+	// live exit-path breakdowns; the snapshot's Complete field is only
+	// meaningful on the final call).
+	Progress func(done, total int, stats ShardRunStats)
 	// Metrics, when non-nil, receives the campaign telemetry.
 	Metrics *metrics.Registry
 	// Context cancels the shard cooperatively; completed runs are
@@ -62,6 +67,9 @@ type ShardRunStats struct {
 	Executed int
 	// FastPathHits counts early-exited runs among Executed+Verified.
 	FastPathHits int
+	// Reconverged counts runs among Executed+Verified ended early by
+	// golden-state reconvergence.
+	Reconverged int
 	// Complete reports whether the checkpoint now covers the whole
 	// shard (and carries its integrity footer).
 	Complete bool
@@ -183,17 +191,24 @@ func RunShard(sh *Shard, cp *trace.Checkpoint, completed []trace.RunRecord, o Sh
 	opts.Faults = faults
 	opts.Workers = o.Workers
 	opts.DisableFastPath = o.DisableFastPath
+	opts.DisableReconvergence = o.DisableReconvergence
 	opts.Metrics = o.Metrics
 	opts.Context = ctx
-	opts.OnResult = func(i int, res *RunResult, wall time.Duration, fastPath bool) {
+	opts.OnResult = func(i int, res *RunResult, wall time.Duration, exit ExitPath) {
 		// Serialized by the campaign's progress mutex.
 		if firstErr != nil {
 			return
 		}
 		j := jobs[i]
-		rec := RecordFor(j.global, res, wall, fastPath)
-		if fastPath {
+		// Reconverged runs record fast_path=false like fully simulated
+		// ones: the record layout is part of the checkpoint identity
+		// contract, and reconvergence is result-invisible by design.
+		rec := RecordFor(j.global, res, wall, exit == ExitFastPath)
+		switch exit {
+		case ExitFastPath:
 			stats.FastPathHits++
+		case ExitReconverged:
+			stats.Reconverged++
 		}
 		if j.verify {
 			stats.Verified++
@@ -213,7 +228,7 @@ func RunShard(sh *Shard, cp *trace.Checkpoint, completed []trace.RunRecord, o Sh
 		stats.Executed++
 		shardDone++
 		if o.Progress != nil {
-			o.Progress(shardDone, stats.Total)
+			o.Progress(shardDone, stats.Total, *stats)
 		}
 	}
 	_, err := Run(opts)

@@ -108,8 +108,8 @@ func unshardedRecords(t *testing.T, spec Spec) []trace.RunRecord {
 	opts := spec.Options()
 	opts.Faults = spec.Universe()
 	recs := make([]trace.RunRecord, len(opts.Faults))
-	opts.OnResult = func(i int, res *RunResult, wall time.Duration, fast bool) {
-		recs[i] = RecordFor(i, res, wall, fast)
+	opts.OnResult = func(i int, res *RunResult, wall time.Duration, exit ExitPath) {
+		recs[i] = RecordFor(i, res, wall, exit == ExitFastPath)
 	}
 	if _, err := Run(opts); err != nil {
 		t.Fatal(err)
@@ -228,8 +228,8 @@ func TestReportFromRecordsMatchesLiveReport(t *testing.T) {
 	opts := spec.Options()
 	opts.Faults = spec.Universe()
 	recs := make([]trace.RunRecord, len(opts.Faults))
-	opts.OnResult = func(i int, res *RunResult, wall time.Duration, fast bool) {
-		recs[i] = RecordFor(i, res, wall, fast)
+	opts.OnResult = func(i int, res *RunResult, wall time.Duration, exit ExitPath) {
+		recs[i] = RecordFor(i, res, wall, exit == ExitFastPath)
 	}
 	rep, err := Run(opts)
 	if err != nil {
@@ -290,7 +290,7 @@ func TestInterruptedShardResume(t *testing.T) {
 	stats, err := RunShard(sh, cp, completed, ShardRunOptions{
 		Workers: 1,
 		Context: ctx,
-		Progress: func(done, total int) {
+		Progress: func(done, total int, _ ShardRunStats) {
 			if done >= killAfter {
 				cancel()
 			}
@@ -408,7 +408,7 @@ func TestResumeDetectsTamperedCheckpoint(t *testing.T) {
 	_, runErr := RunShard(sh, cp, nil, ShardRunOptions{
 		Workers: 1,
 		Context: ctx,
-		Progress: func(done, total int) {
+		Progress: func(done, total int, _ ShardRunStats) {
 			if done >= 3 {
 				cancel()
 			}

@@ -327,6 +327,28 @@ func (p *Plane) Inert(cycle int64) bool {
 	return true
 }
 
+// Quiescent reports whether the plane can no longer fire from the given
+// cycle onward, regardless of whether it already did: every fault is a
+// transient whose window has closed. Unlike Inert it stays true for
+// planes that corrupted state — which is exactly the population the
+// reconvergence fast path targets: the fault hit, the perturbation is
+// in flight, and the only open question is whether it washes out.
+//
+// Quiescent is monotone for the same reason Inert is: transient windows
+// only close.
+func (p *Plane) Quiescent(cycle int64) bool {
+	if p == nil {
+		return true
+	}
+	for i := range p.faults {
+		f := &p.faults[i]
+		if f.Type != Transient || cycle <= f.Cycle {
+			return false
+		}
+	}
+	return true
+}
+
 // LiveAt reports whether any fault window may be open at cycle — the
 // per-cycle gate routers cache in BeginCycle so that out-of-window
 // consults cost a single branch instead of a Plane method call.

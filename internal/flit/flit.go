@@ -6,7 +6,11 @@
 // struct members so the fault plane can corrupt them bit by bit.
 package flit
 
-import "fmt"
+import (
+	"fmt"
+
+	"nocalert/internal/statehash"
+)
 
 // Kind classifies a flit's position within its packet.
 type Kind uint8
@@ -145,6 +149,20 @@ type Packet struct {
 	InjectedAt int64
 }
 
+// FoldState folds the packet's contents into a state-fingerprint
+// accumulator (queued packets awaiting segmentation are architectural
+// state just like in-flight flits).
+func (p *Packet) FoldState(h uint64) uint64 {
+	h = statehash.Fold(h, p.ID)
+	h = statehash.FoldInt(h, p.Src)
+	h = statehash.FoldInt(h, p.Dest)
+	h = statehash.FoldInt(h, p.Class)
+	h = statehash.FoldInt(h, p.Length)
+	h = statehash.Fold(h, p.Payload)
+	h = statehash.Fold(h, uint64(p.InjectedAt))
+	return h
+}
+
 // Flits segments the packet into its flits. destX, destY are the mesh
 // coordinates of the destination, which the header carries for the RC
 // units along the path. Single-flit packets yield one HeadTail flit.
@@ -186,6 +204,31 @@ func (p *Packet) Flits(destX, destY int) []*Flit {
 func (f *Flit) Clone() *Flit {
 	c := *f
 	return &c
+}
+
+// FoldState folds the flit's full contents into a state-fingerprint
+// accumulator. Flits travel by pointer and mutate in flight (VC rewrite
+// per hop, fault-plane corruption), so their contents — not their
+// identity — are architectural state. A nil flit folds a distinct
+// sentinel so "no flit" and "zero flit" cannot collide.
+func (f *Flit) FoldState(h uint64) uint64 {
+	if f == nil {
+		return statehash.Fold(h, 0x6e696c666c6974) // "nilflit"
+	}
+	h = statehash.Fold(h, f.PacketID)
+	h = statehash.FoldInt(h, f.Seq)
+	h = statehash.Fold(h, uint64(f.Kind))
+	h = statehash.FoldInt(h, f.VC)
+	h = statehash.FoldInt(h, f.Src)
+	h = statehash.FoldInt(h, f.Dest)
+	h = statehash.FoldInt(h, f.DestX)
+	h = statehash.FoldInt(h, f.DestY)
+	h = statehash.FoldInt(h, f.Class)
+	h = statehash.FoldInt(h, f.Length)
+	h = statehash.Fold(h, f.Payload)
+	h = statehash.Fold(h, uint64(f.EDC))
+	h = statehash.Fold(h, uint64(f.InjectedAt))
+	return h
 }
 
 // arenaSlabSize is the number of flits per arena slab. A fork of a

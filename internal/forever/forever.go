@@ -186,11 +186,17 @@ func (m *Monitor) EndCycle(cycle int64) {
 	}
 }
 
+// DetectionCap bounds the recorded detection list. FirstDetection is
+// exact regardless; only consumers walking Detections for later entries
+// (e.g. the campaign's reconvergence tail lookup) must check the list
+// stayed under the cap before trusting its completeness.
+const DetectionCap = 64
+
 func (m *Monitor) flag(cycle int64) {
 	if m.first < 0 {
 		m.first = cycle
 	}
-	if len(m.detections) < 64 {
+	if len(m.detections) < DetectionCap {
 		m.detections = append(m.detections, cycle)
 	}
 }
@@ -214,7 +220,8 @@ func (m *Monitor) FirstDetectionAfter(cycle int64) int64 {
 // Detected reports whether any detection has fired.
 func (m *Monitor) Detected() bool { return m.first >= 0 }
 
-// Detections returns the recorded detection cycles (capped at 64).
+// Detections returns the recorded detection cycles (capped at
+// DetectionCap).
 func (m *Monitor) Detections() []int64 { return m.detections }
 
 // ClearDetections forgets past detections (campaigns call this right

@@ -9,6 +9,8 @@
 // quality for simulation workloads, and trivially supports cloning.
 package rng
 
+import "nocalert/internal/statehash"
+
 // PCG is a PCG32 (XSH-RR variant) pseudo-random number generator.
 // The zero value is a valid generator but every zero-value instance
 // produces the same stream; use New to obtain distinct streams.
@@ -34,6 +36,13 @@ func New(seed, seq uint64) *PCG {
 func (p *PCG) Clone() *PCG {
 	c := *p
 	return &c
+}
+
+// FoldState folds the generator's full state into a state-fingerprint
+// accumulator (see internal/statehash). Two generators whose folds
+// agree produce identical future streams.
+func (p *PCG) FoldState(h uint64) uint64 {
+	return statehash.Fold(statehash.Fold(h, p.state), p.inc)
 }
 
 // Uint32 returns the next 32 bits of the stream.

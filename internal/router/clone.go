@@ -82,11 +82,7 @@ func (ip *inputPort) cloneInto(dst *inputPort, depth int, ar *flit.Arena) {
 			buf[j] = ar.CloneOf(f)
 		}
 		d.buf = buf
-		if src.lastRead != nil {
-			d.lastRead = ar.CloneOf(src.lastRead)
-		}
-		if src.lastWritten != nil {
-			d.lastWritten = ar.CloneOf(src.lastWritten)
-		}
+		// lastRead/lastWritten are value snapshots; *d = *src above
+		// already copied them.
 	}
 }

@@ -1,0 +1,63 @@
+package router
+
+import "nocalert/internal/statehash"
+
+// FoldState folds every piece of the router's mutable architectural
+// state into a state-fingerprint accumulator. The enumeration mirrors
+// CloneInto exactly — anything a clone must copy, the fingerprint must
+// cover — so two routers of the same configuration whose folds agree
+// step identically given identical inputs. Like cloning, folding is
+// only meaningful at a cycle boundary, when the per-cycle staging
+// (sig, creditsOut) is dead and deliberately excluded.
+func (r *Router) FoldState(h uint64) uint64 {
+	for p := 0; p < P; p++ {
+		h = statehash.FoldInt(h, r.va1WinnerReg[p])
+		h = statehash.Fold(h, uint64(r.stCol[p]))
+		h = statehash.FoldBool(h, r.readEn[p])
+		h = statehash.FoldInt(h, r.stOut[p])
+		h = statehash.FoldBool(h, r.stSpec[p])
+	}
+	for p := 0; p < P; p++ {
+		if !r.hasPort[p] {
+			continue
+		}
+		ip := &r.in[p]
+		h = statehash.FoldInt(h, ip.sa1WinnerReg)
+		for i := range ip.vcs {
+			v := &ip.vcs[i]
+			h = statehash.FoldInt(h, len(v.buf))
+			for _, f := range v.buf {
+				h = f.FoldState(h)
+			}
+			h = statehash.Fold(h, uint64(v.state))
+			h = statehash.FoldInt(h, v.route)
+			h = statehash.FoldInt(h, v.outVC)
+			h = statehash.Fold(h, v.pktID)
+			h = statehash.FoldInt(h, v.arrived)
+			// lastRead/lastWritten contents are architectural: a read
+			// strobe on an empty buffer replays lastRead (garbage read),
+			// and the mixing rule consults lastWritten.
+			h = statehash.FoldBool(h, v.hasLastRead)
+			if v.hasLastRead {
+				h = v.lastRead.FoldState(h)
+			}
+			h = statehash.FoldBool(h, v.hasLastWritten)
+			if v.hasLastWritten {
+				h = v.lastWritten.FoldState(h)
+			}
+		}
+		for i := range r.out[p].vcs {
+			ov := &r.out[p].vcs[i]
+			h = statehash.FoldBool(h, ov.free)
+			h = statehash.FoldInt(h, ov.credits)
+			h = statehash.FoldBool(h, ov.tailSent)
+		}
+		h = r.va1[p].FoldState(h)
+		h = r.sa1[p].FoldState(h)
+		h = r.va2[p].FoldState(h)
+		h = r.sa2[p].FoldState(h)
+		h = r.arriving[p].FoldState(h)
+		h = statehash.Fold(h, uint64(r.creditIn[p]))
+	}
+	return h
+}

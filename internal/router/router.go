@@ -173,23 +173,62 @@ func (r *Router) fVec(cycle int64, kind fault.Kind, port, vc int, value uint32) 
 	return r.plane.Vec(cycle, r.id, kind, port, vc, value)
 }
 
+// The four register readers below each split into a thin wrapper and
+// an outlined fault path: the wrapper is small enough to inline into
+// the phase loops, and on the overwhelming majority of cycles — no
+// fault window open — it reduces to a plain field load. The raw reads
+// skip the readers' masks, which is safe because every write site
+// stores masked values (see applyRegisterUpsets and the phase code).
+
 func (r *Router) vcStateR(cycle int64, p, v int) VCState {
-	raw := r.fWord(cycle, fault.VCStateReg, p, v, int(r.in[p].vcs[v].state))
+	if r.planeLive {
+		return r.vcStateFaulted(cycle, p, v)
+	}
+	return r.in[p].vcs[v].state
+}
+
+//go:noinline
+func (r *Router) vcStateFaulted(cycle int64, p, v int) VCState {
+	raw := r.plane.Word(cycle, r.id, fault.VCStateReg, p, v, int(r.in[p].vcs[v].state))
 	return VCState(raw & 7)
 }
 
 func (r *Router) vcRouteR(cycle int64, p, v int) int {
-	return r.fWord(cycle, fault.VCRouteReg, p, v, r.in[p].vcs[v].route) & (1<<DirWidth - 1)
+	if r.planeLive {
+		return r.vcRouteFaulted(cycle, p, v)
+	}
+	return r.in[p].vcs[v].route
+}
+
+//go:noinline
+func (r *Router) vcRouteFaulted(cycle int64, p, v int) int {
+	return r.plane.Word(cycle, r.id, fault.VCRouteReg, p, v, r.in[p].vcs[v].route) & (1<<DirWidth - 1)
 }
 
 func (r *Router) vcOutVCR(cycle int64, p, v int) int {
-	return r.fWord(cycle, fault.VCOutVCReg, p, v, r.in[p].vcs[v].outVC) & (MaxVCs - 1)
+	if r.planeLive {
+		return r.vcOutVCFaulted(cycle, p, v)
+	}
+	return r.in[p].vcs[v].outVC
+}
+
+//go:noinline
+func (r *Router) vcOutVCFaulted(cycle int64, p, v int) int {
+	return r.plane.Word(cycle, r.id, fault.VCOutVCReg, p, v, r.in[p].vcs[v].outVC) & (MaxVCs - 1)
 }
 
 func (r *Router) creditMask() int { return r.crMask }
 
 func (r *Router) creditR(cycle int64, o, v int) int {
-	return r.fWord(cycle, fault.CreditCountReg, o, v, r.out[o].vcs[v].credits) & r.creditMask()
+	if r.planeLive {
+		return r.creditFaulted(cycle, o, v)
+	}
+	return r.out[o].vcs[v].credits
+}
+
+//go:noinline
+func (r *Router) creditFaulted(cycle int64, o, v int) int {
+	return r.plane.Word(cycle, r.id, fault.CreditCountReg, o, v, r.out[o].vcs[v].credits) & r.crMask
 }
 
 // ---- cycle evaluation ----
@@ -207,30 +246,36 @@ func (r *Router) BeginCycle(cycle int64) {
 		if !r.hasPort[p] {
 			continue
 		}
-		for v := 0; v < r.cfg.VCs; v++ {
-			vc := &r.in[p].vcs[v]
-			pv := PreVC{
-				State:   r.vcStateR(cycle, p, v),
-				BufLen:  len(vc.buf),
-				Route:   r.vcRouteR(cycle, p, v),
-				OutVC:   r.vcOutVCR(cycle, p, v),
-				Arrived: vc.arrived,
-				PktID:   vc.pktID,
-				Class:   r.vcClass[v],
-			}
+		ins, preIn := r.in[p].vcs, r.sig.Pre.In[p]
+		outs, preOut := r.out[p].vcs, r.sig.Pre.Out[p]
+		for v := range ins {
+			vc := &ins[v]
+			// Fill the snapshot in place rather than building a PreVC on
+			// the stack and copying it — the copy was the single hottest
+			// line in campaign profiles.
+			pv := &preIn[v]
+			pv.State = r.vcStateR(cycle, p, v)
+			pv.Route = r.vcRouteR(cycle, p, v)
+			pv.OutVC = r.vcOutVCR(cycle, p, v)
+			pv.BufLen = len(vc.buf)
+			pv.Arrived = vc.arrived
+			pv.PktID = vc.pktID
 			if h := vc.head(); h != nil {
 				pv.HasHead = true
 				pv.HeadKind = h.Kind
 				pv.HeadPkt = h.PacketID
 				pv.Class = h.Class
+			} else {
+				pv.HasHead = false
+				pv.HeadKind = 0
+				pv.HeadPkt = 0
+				pv.Class = r.vcClass[v]
 			}
-			r.sig.Pre.In[p][v] = pv
-			ovc := &r.out[p].vcs[v]
-			r.sig.Pre.Out[p][v] = PreOutVC{
-				Free:     ovc.free,
-				Credits:  r.creditR(cycle, p, v),
-				TailSent: ovc.tailSent,
-			}
+			ovc := &outs[v]
+			po := &preOut[v]
+			po.Free = ovc.free
+			po.Credits = r.creditR(cycle, p, v)
+			po.TailSent = ovc.tailSent
 		}
 	}
 }
@@ -328,7 +373,7 @@ func (r *Router) writeFlit(cycle int64, p int, f *flit.Flit) {
 			StateBefore: r.vcStateR(cycle, p, v),
 			ResidentPkt: vc.pktID,
 		}
-		if vc.lastWritten != nil {
+		if vc.hasLastWritten {
 			t.HasPrev = true
 			t.PrevKind = vc.lastWritten.Kind
 		}
@@ -728,7 +773,7 @@ func (r *Router) execRC(cycle int64, p, v int) {
 	switch {
 	case head != nil:
 		dx, dy, kind = head.DestX, head.DestY, head.Kind
-	case vc.lastRead != nil:
+	case vc.hasLastRead:
 		// RC on an empty buffer consumes whatever the stale storage
 		// holds (an "empty" slot is not blank).
 		dx, dy, kind = vc.lastRead.DestX, vc.lastRead.DestY, vc.lastRead.Kind

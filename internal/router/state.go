@@ -64,13 +64,20 @@ type inVC struct {
 	// arrived counts the flits of the current packet that entered this
 	// VC; invariance 28 compares it against the class's fixed length.
 	arrived int
-	// lastRead is the most recently read flit. A read strobe hitting an
-	// empty buffer returns stale storage, not blanks — the mechanism by
-	// which the paper says "a new flit may be generated".
-	lastRead *flit.Flit
-	// lastWritten is the most recently written flit, used by the
-	// non-atomic mixing rule (a tail must be followed by a header).
-	lastWritten *flit.Flit
+	// lastRead snapshots the most recently read flit as of read time. A
+	// read strobe hitting an empty buffer returns stale storage, not
+	// blanks — the mechanism by which the paper says "a new flit may be
+	// generated". It is a value, not a pointer: a hardware read latch
+	// holds the bits present when the read happened, so downstream
+	// rewrites of the departed flit (VC restamping per hop) must not
+	// alias back into it. hasLastRead gates validity.
+	lastRead    flit.Flit
+	hasLastRead bool
+	// lastWritten snapshots the most recently written flit at write
+	// time, used by the non-atomic mixing rule (a tail must be followed
+	// by a header). Value semantics for the same reason as lastRead.
+	lastWritten    flit.Flit
+	hasLastWritten bool
 }
 
 func (v *inVC) empty() bool { return len(v.buf) == 0 }
@@ -91,7 +98,7 @@ func (v *inVC) head() *flit.Flit {
 // was ever read.
 func (v *inVC) pop() (f *flit.Flit, garbage bool) {
 	if len(v.buf) == 0 {
-		if v.lastRead == nil {
+		if !v.hasLastRead {
 			return nil, true
 		}
 		return v.lastRead.Clone(), true
@@ -99,7 +106,8 @@ func (v *inVC) pop() (f *flit.Flit, garbage bool) {
 	f = v.buf[0]
 	copy(v.buf, v.buf[1:])
 	v.buf = v.buf[:len(v.buf)-1]
-	v.lastRead = f
+	v.lastRead = *f
+	v.hasLastRead = true
 	return f, false
 }
 
@@ -107,7 +115,8 @@ func (v *inVC) pop() (f *flit.Flit, garbage bool) {
 // (an overflowing write drops the flit instead).
 func (v *inVC) push(f *flit.Flit) {
 	v.buf = append(v.buf, f)
-	v.lastWritten = f
+	v.lastWritten = *f
+	v.hasLastWritten = true
 }
 
 func (v *inVC) reset() {

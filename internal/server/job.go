@@ -60,7 +60,11 @@ type Event struct {
 	// campaign has a live throughput sample (see campaign.EstimateETA).
 	FaultsPerSec float64 `json:"faults_per_sec,omitempty"`
 	ETASeconds   float64 `json:"eta_seconds,omitempty"`
-	Error        string  `json:"error,omitempty"`
+	// FastPathHits/Reconverged are the running exit-path counts among
+	// the newly executed runs (progress events only).
+	FastPathHits int    `json:"fast_path_hits,omitempty"`
+	Reconverged  int    `json:"reconverged,omitempty"`
+	Error        string `json:"error,omitempty"`
 	// Dropped counts events this subscriber missed immediately before
 	// this one because it consumed too slowly (the stream truncates
 	// rather than stall the campaign).
@@ -83,18 +87,19 @@ type Job struct {
 	Spec     campaign.Spec
 	SpecHash string
 
-	mu        sync.Mutex
-	status    Status
-	done      int // completed runs, resumed included
-	total     int // planned run count (spec.NumFaults until planned)
-	resumed   int
-	executed  int
-	verified  int
-	fastPath  int
-	errMsg    string
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	mu          sync.Mutex
+	status      Status
+	done        int // completed runs, resumed included
+	total       int // planned run count (spec.NumFaults until planned)
+	resumed     int
+	executed    int
+	verified    int
+	fastPath    int
+	reconverged int
+	errMsg      string
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
 	// cancelRun cancels the running campaign's context; canceled marks
 	// a user cancellation (as opposed to a daemon drain).
 	cancelRun context.CancelFunc
@@ -126,20 +131,21 @@ func newJobID() string {
 
 // View is the JSON shape of a job in API responses.
 type View struct {
-	ID           string        `json:"id"`
-	Status       Status        `json:"status"`
-	Spec         campaign.Spec `json:"spec"`
-	SpecHash     string        `json:"spec_hash"`
-	Done         int           `json:"done"`
-	Total        int           `json:"total"`
-	Resumed      int           `json:"resumed,omitempty"`
-	Executed     int           `json:"executed,omitempty"`
-	Verified     int           `json:"verified,omitempty"`
-	FastPathHits int           `json:"fast_path_hits,omitempty"`
-	Error        string        `json:"error,omitempty"`
-	SubmittedAt  string        `json:"submitted_at"`
-	StartedAt    string        `json:"started_at,omitempty"`
-	FinishedAt   string        `json:"finished_at,omitempty"`
+	ID              string        `json:"id"`
+	Status          Status        `json:"status"`
+	Spec            campaign.Spec `json:"spec"`
+	SpecHash        string        `json:"spec_hash"`
+	Done            int           `json:"done"`
+	Total           int           `json:"total"`
+	Resumed         int           `json:"resumed,omitempty"`
+	Executed        int           `json:"executed,omitempty"`
+	Verified        int           `json:"verified,omitempty"`
+	FastPathHits    int           `json:"fast_path_hits,omitempty"`
+	ReconvergedHits int           `json:"reconverged_hits,omitempty"`
+	Error           string        `json:"error,omitempty"`
+	SubmittedAt     string        `json:"submitted_at"`
+	StartedAt       string        `json:"started_at,omitempty"`
+	FinishedAt      string        `json:"finished_at,omitempty"`
 }
 
 func rfc3339(t time.Time) string {
@@ -154,20 +160,21 @@ func (j *Job) view() View {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return View{
-		ID:           j.ID,
-		Status:       j.status,
-		Spec:         j.Spec,
-		SpecHash:     j.SpecHash,
-		Done:         j.done,
-		Total:        j.total,
-		Resumed:      j.resumed,
-		Executed:     j.executed,
-		Verified:     j.verified,
-		FastPathHits: j.fastPath,
-		Error:        j.errMsg,
-		SubmittedAt:  rfc3339(j.submitted),
-		StartedAt:    rfc3339(j.started),
-		FinishedAt:   rfc3339(j.finished),
+		ID:              j.ID,
+		Status:          j.status,
+		Spec:            j.Spec,
+		SpecHash:        j.SpecHash,
+		Done:            j.done,
+		Total:           j.total,
+		Resumed:         j.resumed,
+		Executed:        j.executed,
+		Verified:        j.verified,
+		FastPathHits:    j.fastPath,
+		ReconvergedHits: j.reconverged,
+		Error:           j.errMsg,
+		SubmittedAt:     rfc3339(j.submitted),
+		StartedAt:       rfc3339(j.started),
+		FinishedAt:      rfc3339(j.finished),
 	}
 }
 

@@ -501,15 +501,18 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 		Metrics:       s.reg,
 		Context:       ctx,
 		VerifyResumed: s.cfg.VerifyResumed,
-		Progress: func(done, total int) {
+		Progress: func(done, total int, st campaign.ShardRunStats) {
 			fps := s.reg.Gauge(campaign.MetricFaultsPerSec).Value()
-			ev := Event{Type: "progress", Job: j.ID, Status: StatusRunning, Done: done, Total: total}
+			ev := Event{Type: "progress", Job: j.ID, Status: StatusRunning, Done: done, Total: total,
+				FastPathHits: st.FastPathHits, Reconverged: st.Reconverged}
 			if eta, ok := campaign.EstimateETA(total-done, fps); ok {
 				ev.FaultsPerSec = fps
 				ev.ETASeconds = eta.Seconds()
 			}
 			j.mu.Lock()
 			j.done = done
+			j.fastPath = st.FastPathHits
+			j.reconverged = st.Reconverged
 			ev.Resumed = j.resumed
 			j.publishLocked(ev)
 			j.mu.Unlock()
@@ -520,6 +523,7 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 		j.executed = stats.Executed
 		j.verified = stats.Verified
 		j.fastPath = stats.FastPathHits
+		j.reconverged = stats.Reconverged
 		j.mu.Unlock()
 	}
 	if err != nil {

@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"testing"
+
+	"nocalert/internal/router"
+	"nocalert/internal/topology"
+)
+
+// benchStep measures the per-cycle cost of stepping a warmed network,
+// optionally folding the full state fingerprint each cycle — the
+// worst-case fingerprint duty cycle, paid only by the golden run's
+// timeline recording. Faulty runs amortize the hash behind a counter
+// precheck and exponential backoff, so their per-cycle overhead is a
+// small fraction of the PlusFP - Only gap shown here.
+func benchStep(b *testing.B, w, h int, rate float64, fp bool) {
+	mesh := topology.NewMesh(w, h)
+	n, err := New(Config{Router: router.Default(mesh), InjectionRate: rate, Seed: 3}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for n.Cycle() < 300 {
+		n.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+		if fp {
+			_ = n.Fingerprint()
+		}
+	}
+}
+
+func BenchmarkStepOnly4x4(b *testing.B)   { benchStep(b, 4, 4, 0.12, false) }
+func BenchmarkStepPlusFP4x4(b *testing.B) { benchStep(b, 4, 4, 0.12, true) }
+func BenchmarkStepOnly8x8(b *testing.B)   { benchStep(b, 8, 8, 0.05, false) }
+func BenchmarkStepPlusFP8x8(b *testing.B) { benchStep(b, 8, 8, 0.05, true) }

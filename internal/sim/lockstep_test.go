@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"nocalert/internal/fault"
+	"nocalert/internal/router"
+	"nocalert/internal/statehash"
+	"nocalert/internal/topology"
+)
+
+// TestCloneFingerprintLockstep pins the property golden-state
+// reconvergence detection rests on: a fault-free clone stepped in
+// lockstep with its original stays fingerprint-identical cycle by
+// cycle. Any state that influences stepping but escapes CloneInto or
+// the fold — or any aliasing that lets one network mutate state the
+// other copied — breaks this (an aliased lastRead latch did exactly
+// that: downstream VC restamps leaked back into the original's stale
+// read latches but not the clone's).
+func TestCloneFingerprintLockstep(t *testing.T) {
+	for _, tc := range []struct {
+		w, h int
+		rate float64
+	}{
+		{4, 4, 0.12},
+		{8, 8, 0.05},
+	} {
+		t.Run(fmt.Sprintf("%dx%d", tc.w, tc.h), func(t *testing.T) {
+			mesh := topology.NewMesh(tc.w, tc.h)
+			n, err := New(Config{Router: router.Default(mesh), InjectionRate: tc.rate, Seed: 3}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for n.Cycle() < 300 {
+				n.Step()
+			}
+			c := n.CloneInto(nil, fault.NewPlane())
+			if n.Fingerprint() != c.Fingerprint() {
+				t.Fatal("clone fingerprint differs before any step")
+			}
+			for i := 0; i < 300; i++ {
+				n.Step()
+				c.Step()
+				if n.Fingerprint() == c.Fingerprint() {
+					continue
+				}
+				for ri := range n.routers {
+					if n.routers[ri].FoldState(statehash.Seed) != c.routers[ri].FoldState(statehash.Seed) {
+						t.Errorf("cycle %d: router %d fold diverged", n.Cycle(), ri)
+					}
+				}
+				for ni := range n.nis {
+					if n.nis[ni].foldState(statehash.Seed) != c.nis[ni].foldState(statehash.Seed) {
+						t.Errorf("cycle %d: NI %d fold diverged", n.Cycle(), ni)
+					}
+				}
+				t.Fatalf("clone diverged from original at cycle %d", n.Cycle())
+			}
+		})
+	}
+}

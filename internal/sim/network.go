@@ -71,6 +71,8 @@ type Network struct {
 	// planeInert caches Plane.Inert once it turns true (the property is
 	// monotone), so the per-cycle fast-path check is a bool load.
 	planeInert bool
+	// planeQuiescent likewise caches Plane.Quiescent (also monotone).
+	planeQuiescent bool
 }
 
 // New builds a network from the configuration. The fault plane may be
@@ -429,6 +431,7 @@ func (n *Network) CloneInto(dst *Network, plane *fault.Plane) *Network {
 	c.mesh = n.mesh
 	c.plane = plane
 	c.planeInert = false
+	c.planeQuiescent = false
 	c.cycle = n.cycle
 	c.nextPkt = n.nextPkt
 	c.injecting = n.injecting

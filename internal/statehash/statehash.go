@@ -1,0 +1,40 @@
+// Package statehash provides the fold primitive behind the simulator's
+// incremental state fingerprints. Every piece of mutable network state
+// (router pipeline registers, buffered flits, NI queues, RNG streams)
+// folds itself into a running 64-bit accumulator; two networks whose
+// accumulators match after folding identical state enumerations are —
+// up to a 2^-64 collision — in the same architectural state, which is
+// the reconvergence test fault campaigns use to end masked-fault runs
+// early.
+//
+// The fold is a multiply–xorshift step (one multiply per word, Murmur3
+// finalizer constant), chosen because fingerprints are recomputed every
+// cycle over the whole network: it must cost as little as possible per
+// word while still avalanching every input bit across the accumulator.
+// It is not cryptographic and does not need to be — both sides of the
+// comparison are produced by this simulator, never by an adversary.
+package statehash
+
+// Seed is the canonical initial accumulator (the golden-ratio constant,
+// so an empty enumeration does not hash to zero).
+const Seed uint64 = 0x9e3779b97f4a7c15
+
+// Fold mixes one 64-bit word of state into the accumulator.
+func Fold(h, v uint64) uint64 {
+	h ^= v
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	return h
+}
+
+// FoldInt folds a signed integer (sign-extended, so -1 and ^0 collide
+// deliberately — both mean "no value" in the simulator's encodings).
+func FoldInt(h uint64, v int) uint64 { return Fold(h, uint64(int64(v))) }
+
+// FoldBool folds a boolean as 0/1.
+func FoldBool(h uint64, b bool) uint64 {
+	if b {
+		return Fold(h, 1)
+	}
+	return Fold(h, 0)
+}

@@ -320,6 +320,17 @@ const (
 	MechanismForEVeR  = campaign.ForEVeR
 )
 
+// CampaignExitPath identifies how a run reached its result (full
+// simulation, fast-path early exit, or golden-state reconvergence).
+type CampaignExitPath = campaign.ExitPath
+
+// Exit paths.
+const (
+	CampaignExitFull        = campaign.ExitFull
+	CampaignExitFastPath    = campaign.ExitFastPath
+	CampaignExitReconverged = campaign.ExitReconverged
+)
+
 // RunCampaign executes a fault-injection campaign.
 func RunCampaign(opts CampaignOptions) (*CampaignReport, error) { return campaign.Run(opts) }
 
@@ -469,10 +480,13 @@ func NewMetricsMonitor(reg *MetricsRegistry, cfg *RouterConfig) *MetricsMonitor 
 // Campaign metric names published when CampaignOptions.Metrics is set
 // (the full list lives beside the campaign engine).
 const (
-	MetricCampaignRuns         = campaign.MetricRuns
-	MetricCampaignFaultsPerSec = campaign.MetricFaultsPerSec
-	MetricCampaignFastPathHits = campaign.MetricFastPathHits
-	MetricCampaignRunSeconds   = campaign.MetricRunSeconds
+	MetricCampaignRuns                = campaign.MetricRuns
+	MetricCampaignFaultsPerSec        = campaign.MetricFaultsPerSec
+	MetricCampaignFastPathHits        = campaign.MetricFastPathHits
+	MetricCampaignRunSeconds          = campaign.MetricRunSeconds
+	MetricCampaignReconvergenceHits   = campaign.MetricReconvergenceHits
+	MetricCampaignFullSimRuns         = campaign.MetricFullSimRuns
+	MetricCampaignReconvergenceCycles = campaign.MetricReconvergenceCycles
 )
 
 // CampaignETA converts a live faults/sec reading into the expected
