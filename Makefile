@@ -81,19 +81,30 @@ e2e:
 BENCH_FLAGS = -mesh 4x4 -rate 0.12 -inject 300 -post 400 \
 	-drain 5000 -epoch 400 -faults 160 -seed 3 -fig none -progress=false
 
+# The 8x8 throughput row (BENCH_8x8.json): the paper-scale mesh at its
+# 0.05 injection rate, serial, so the trajectory tracks algorithmic
+# wins (forking, fast-forward, reconvergence) rather than core count.
+BENCH_8X8_FLAGS = -mesh 8x8 -rate 0.05 -inject 300 -post 500 \
+	-drain 10000 -epoch 1500 -faults 64 -seed 3 -fig none -progress=false
+
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkCampaignRun -benchtime 3x .
 	$(GO) run ./cmd/faultcampaign $(BENCH_FLAGS) -workers 1 \
 		-benchjson BENCH_4x4.json
 	$(GO) run ./cmd/faultcampaign $(BENCH_FLAGS) -workers 0 \
 		-benchname campaign-parallel -benchjson BENCH_4x4.json
+	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -workers 1 \
+		-benchname campaign-8x8 -benchjson BENCH_8x8.json
 
 # benchcheck is the perf regression gate: re-run the serial benchmark
-# campaign and fail if its faults/sec lands >30% below the latest
-# committed "campaign" row in BENCH_4x4.json. Nothing is appended.
+# campaigns and fail if their faults/sec land >30% below the latest
+# committed "campaign" row in BENCH_4x4.json (resp. "campaign-8x8" in
+# BENCH_8x8.json). Nothing is appended.
 benchcheck:
 	$(GO) run ./cmd/faultcampaign $(BENCH_FLAGS) -workers 1 \
 		-benchbaseline BENCH_4x4.json
+	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -workers 1 \
+		-benchname campaign-8x8 -benchbaseline BENCH_8x8.json
 
 # golden regenerates testdata/golden_4x4_seed3.json after an
 # intentional behaviour change; commit the diff it produces.

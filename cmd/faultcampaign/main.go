@@ -35,6 +35,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -54,7 +55,7 @@ func main() {
 		meshSpec  = flag.String("mesh", "8x8", "mesh dimensions WxH")
 		vcs       = flag.Int("vcs", 4, "virtual channels per port")
 		rate      = flag.Float64("rate", 0.05, "injection rate (flits/node/cycle)")
-		inject    = flag.Int64("inject", 0, "fault-injection cycle (paper: 0 and 32000)")
+		inject    = flag.String("inject", "0", "fault-injection cycle, or a comma list (e.g. 0,16000,32000) spread round-robin over the sample (paper: 0 and 32000)")
 		nFaults   = flag.Int("faults", 1000, "fault sample size (0 = all locations)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		epoch     = flag.Int64("epoch", 1500, "ForEVeR epoch length in cycles")
@@ -68,6 +69,9 @@ func main() {
 		benchBase = flag.String("benchbaseline", "", "compare this run's faults/sec against the latest matching record in FILE; exit non-zero on a >30% regression")
 		noFast    = flag.Bool("nofastpath", false, "disable the early-exit fast path for non-firing faults")
 		noReconv  = flag.Bool("no-reconverge", false, "disable golden-state reconvergence detection (fired faults always simulate their full window)")
+		noFork    = flag.Bool("no-fork", false, "disable injection-point forking (every run simulates its full [0,injection) prefix)")
+		snapInt   = flag.Int64("snapshot-interval", 0, "golden snapshot spacing in cycles (0 = adaptive from the universe's injection-cycle histogram)")
+		noFF      = flag.Bool("no-fastforward", false, "disable frozen-state fast-forwarding of deadlocked drains and idle ForEVeR horizons")
 		progress  = flag.Bool("progress", true, "print campaign progress to stderr")
 		telAddr   = flag.String("telemetry", "", "serve live telemetry on this address (pprof at /debug/pprof/, expvar at /debug/vars, metrics at /metricsz)")
 		traceOut  = flag.String("trace", "", "stream one NDJSON record per completed fault run to this file")
@@ -86,6 +90,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	cycles, err := parseInjectCycles(*inject)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rc := nocalert.DefaultRouterConfig(mesh)
 	rc.VCs = *vcs
 	simCfg := nocalert.SimConfig{Router: rc, InjectionRate: *rate, Seed: *seed}
@@ -97,8 +105,15 @@ func main() {
 	}
 	all := want["all"]
 
-	faults := nocalert.SampleFaults(params, *nFaults, *seed, *inject)
-	fmt.Printf("fault population: %d single-bit locations (%d sites); injecting %d at cycle %d\n",
+	faults := nocalert.SampleFaults(params, *nFaults, *seed, cycles[0])
+	if len(cycles) > 1 {
+		// Round-robin restamp, mirroring CampaignSpec.Universe: the set
+		// of sampled locations stays independent of the cycle spread.
+		for i := range faults {
+			faults[i].Cycle = cycles[i%len(cycles)]
+		}
+	}
+	fmt.Printf("fault population: %d single-bit locations (%d sites); injecting %d at cycle(s) %s\n",
 		totalBits(params), len(params.EnumerateSites()), len(faults), *inject)
 
 	// Telemetry: one registry feeds the progress line's ETA, the
@@ -127,14 +142,26 @@ func main() {
 			MeshW: mesh.W, MeshH: mesh.H, VCs: *vcs,
 			InjectionRate: *rate,
 			Seed:          *seed,
-			InjectCycle:   *inject,
+			InjectCycle:   cycles[0],
 			PostInjectRun: *post,
 			DrainDeadline: *drain,
 			Epoch:         *epoch,
 			HopLatency:    1,
 			NumFaults:     *nFaults,
 		}
-		if err := runShardMode(ctx, spec, *shardStr, *ckptPath, *workers, *noFast, *noReconv, *verifyN, *progress, reg); err != nil {
+		if len(cycles) > 1 {
+			spec.InjectCycles = cycles
+		}
+		sro := nocalert.CampaignShardRunOptions{
+			Workers:              *workers,
+			DisableFastPath:      *noFast,
+			DisableReconvergence: *noReconv,
+			DisableFork:          *noFork,
+			SnapshotInterval:     *snapInt,
+			DisableFastForward:   *noFF,
+			VerifyResumed:        *verifyN,
+		}
+		if err := runShardMode(ctx, spec, *shardStr, *ckptPath, sro, *progress, reg); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -168,7 +195,7 @@ func main() {
 	start := time.Now()
 	rep, err := nocalert.RunCampaign(nocalert.CampaignOptions{
 		Sim:                  simCfg,
-		InjectCycle:          *inject,
+		InjectCycle:          cycles[0],
 		PostInjectRun:        *post,
 		DrainDeadline:        *drain,
 		Forever:              nocalert.ForeverOptions{Epoch: *epoch, HopLatency: 1},
@@ -176,6 +203,9 @@ func main() {
 		Workers:              *workers,
 		DisableFastPath:      *noFast,
 		DisableReconvergence: *noReconv,
+		DisableFork:          *noFork,
+		SnapshotInterval:     *snapInt,
+		DisableFastForward:   *noFF,
 		Progress:             report,
 		Metrics:              reg,
 		OnResult:             onResult,
@@ -194,8 +224,9 @@ func main() {
 		fmt.Printf("run trace: %d NDJSON records written to %s\n", tw.Records(), *traceOut)
 	}
 	wall := time.Since(start)
-	fmt.Printf("campaign: %d runs in %v; %d faults fired, %d caused network-correctness violations, %d fast-path exits, %d reconverged\n\n",
-		len(rep.Results), wall.Round(time.Millisecond), rep.FiredCount(), rep.MaliciousCount(), rep.FastPathHits, rep.ReconvergedHits)
+	fmt.Printf("campaign: %d runs in %v; %d faults fired, %d caused network-correctness violations, %d fast-path exits, %d reconverged, %d forked (%d prefix cycles skipped, %d synthesized)\n\n",
+		len(rep.Results), wall.Round(time.Millisecond), rep.FiredCount(), rep.MaliciousCount(), rep.FastPathHits, rep.ReconvergedHits,
+		rep.ForkedRuns, rep.WarmstartCyclesSaved, rep.SynthesizedCycles)
 
 	if *benchOut != "" {
 		if err := writeBenchRecord(*benchOut, *benchName, *meshSpec, rep, *workers, wall); err != nil {
@@ -224,7 +255,7 @@ func main() {
 		fmt.Printf("JSON results written to %s\n\n", *jsonPath)
 	}
 	if all || want["obs3"] {
-		obs3(simCfg, params, *inject, *post, *drain, *epoch, *seed)
+		obs3(simCfg, params, cycles[0], *post, *drain, *epoch, *seed)
 	}
 
 	// Observation 1: zero false negatives.
@@ -340,6 +371,7 @@ type benchRecord struct {
 	Faults       int     `json:"faults"`
 	FastPathHits int     `json:"fast_path_hits"`
 	Reconverged  int     `json:"reconverged"`
+	Forked       int     `json:"forked"`
 	Workers      int     `json:"workers"`
 	GOMAXPROCS   int     `json:"gomaxprocs"`
 	WallSeconds  float64 `json:"wall_seconds"`
@@ -361,6 +393,7 @@ func writeBenchRecord(path, name, mesh string, rep *nocalert.CampaignReport, wor
 		Faults:       len(rep.Results),
 		FastPathHits: rep.FastPathHits,
 		Reconverged:  rep.ReconvergedHits,
+		Forked:       rep.ForkedRuns,
 		Workers:      workers,
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		WallSeconds:  wall.Seconds(),
@@ -429,6 +462,20 @@ func checkBenchBaseline(path, name string, faults int, wall time.Duration) error
 			got, base.FaultsPerSec, path)
 	}
 	return nil
+}
+
+// parseInjectCycles parses the -inject flag: a single cycle or a comma
+// list, each non-negative.
+func parseInjectCycles(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		c, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil || c < 0 {
+			return nil, fmt.Errorf("invalid -inject %q: cycles must be non-negative integers", s)
+		}
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 func totalBits(p nocalert.FaultParams) int {

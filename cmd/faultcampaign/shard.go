@@ -28,7 +28,9 @@ func parseShardFlag(s string) (i, n int, err error) {
 // runShardMode executes one shard of the campaign against a resumable
 // checkpoint file. Figures are not printed here — a shard is a partial
 // campaign; fold the finalized checkpoints with `faultcampaign merge`.
-func runShardMode(ctx context.Context, spec nocalert.CampaignSpec, shard, path string, workers int, noFast, noReconv bool, verifyResumed int, progress bool, reg *nocalert.MetricsRegistry) error {
+// sro carries the execution knobs; its Progress, Metrics and Context
+// fields are filled in here.
+func runShardMode(ctx context.Context, spec nocalert.CampaignSpec, shard, path string, sro nocalert.CampaignShardRunOptions, progress bool, reg *nocalert.MetricsRegistry) error {
 	idx, n, err := parseShardFlag(shard)
 	if err != nil {
 		return err
@@ -50,33 +52,26 @@ func runShardMode(ctx context.Context, spec nocalert.CampaignSpec, shard, path s
 		idx, n, sh.Start, sh.End, len(spec.Universe()), path, len(completed))
 
 	var report func(done, total int)
-	var shardProgress func(done, total int, st nocalert.CampaignShardRunStats)
 	if progress {
 		report = progressPrinter(os.Stderr, fmt.Sprintf("shard %d/%d", idx, n), reg)
-		shardProgress = func(done, total int, _ nocalert.CampaignShardRunStats) {
+		sro.Progress = func(done, total int, _ nocalert.CampaignShardRunStats) {
 			report(done, total)
 		}
 	}
 
 	start := time.Now()
-	st, err := nocalert.RunCampaignShard(sh, cp, completed, nocalert.CampaignShardRunOptions{
-		Workers:              workers,
-		DisableFastPath:      noFast,
-		DisableReconvergence: noReconv,
-		Progress:             shardProgress,
-		Metrics:              reg,
-		Context:              ctx,
-		VerifyResumed:        verifyResumed,
-	})
+	sro.Metrics = reg
+	sro.Context = ctx
+	st, err := nocalert.RunCampaignShard(sh, cp, completed, sro)
 	if progress && report != nil {
 		fmt.Fprintln(os.Stderr)
 	}
 	if err != nil {
 		return fmt.Errorf("shard %d/%d: %w (checkpoint %s keeps the %d completed runs)", idx, n, err, path, st.Resumed+st.Executed)
 	}
-	fmt.Printf("shard %d/%d: %d/%d runs in %v (%d resumed from checkpoint, %d of those re-executed and verified, %d newly executed, %d fast-path exits, %d reconverged)\n",
+	fmt.Printf("shard %d/%d: %d/%d runs in %v (%d resumed from checkpoint, %d of those re-executed and verified, %d newly executed, %d fast-path exits, %d reconverged, %d full-sim, %d forked)\n",
 		idx, n, st.Resumed+st.Executed, st.Total, time.Since(start).Round(time.Millisecond),
-		st.Resumed, st.Verified, st.Executed, st.FastPathHits, st.Reconverged)
+		st.Resumed, st.Verified, st.Executed, st.FastPathHits, st.Reconverged, st.FullSim, st.Forked)
 	if !st.Complete {
 		return fmt.Errorf("shard %d/%d did not complete", idx, n)
 	}

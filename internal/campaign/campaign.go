@@ -112,8 +112,11 @@ func classify(detected, malicious bool) Outcome {
 type Options struct {
 	// Sim is the network and workload under test.
 	Sim sim.Config
-	// InjectCycle is the network state at which faults strike (the
-	// paper uses 0, 32K and 64K).
+	// InjectCycle is the cycle SampleFaults-style universes inject at
+	// (the paper uses 0, 32K and 64K). Each fault's own Cycle field is
+	// authoritative: groups may inject at different cycles within one
+	// campaign, and the golden run snapshots/forks at every distinct
+	// injection cycle it encounters.
 	InjectCycle int64
 	// PostInjectRun is how many cycles injection continues after the
 	// fault, giving the perturbation live traffic to interact with.
@@ -146,6 +149,26 @@ type Options struct {
 	// (test-enforced); this switch exists for verification, for
 	// measuring the fingerprint overhead, and as an escape hatch.
 	DisableReconvergence bool
+	// DisableFork turns off injection-point forking: a single golden
+	// snapshot is kept at cycle 0 and every faulty run honestly replays
+	// its full [0, injection) prefix before the fault goes live.
+	// Fork-enabled reports are byte-identical (test-enforced); the
+	// switch exists for the A/B gate and for measuring the warm-start
+	// win.
+	DisableFork bool
+	// SnapshotInterval fixes the golden snapshot ring's cycle stride.
+	// 0 — the default — picks the interval adaptively from the fault
+	// universe's injection-cycle histogram (snapshots land exactly on
+	// the distinct injection cycles whenever they fit the ring budget).
+	// Ignored when DisableFork is set.
+	SnapshotInterval int64
+	// DisableFastForward turns off the frozen-state fast-forward that
+	// synthesizes the remainder of a run's drain and ForEVeR horizon
+	// once the network state is provably a fixed point (deadlocked
+	// fabrics, drained-idle horizons). Results are byte-identical either
+	// way (test-enforced); the switch exists for verification and
+	// benchmarking.
+	DisableFastForward bool
 	// DisableForever runs the campaign without a ForEVeR monitor: the
 	// golden run and every faulty run skip the baseline entirely, and
 	// finishRun skips the post-drain horizon run-out that exists only to
@@ -199,13 +222,19 @@ func (o *Options) withDefaults() (Options, error) {
 			out.FaultGroups[i] = []fault.Fault{f}
 		}
 	}
+	if out.SnapshotInterval < 0 {
+		return out, fmt.Errorf("campaign: negative snapshot interval %d", out.SnapshotInterval)
+	}
 	for _, g := range out.FaultGroups {
 		if len(g) == 0 {
 			return out, errors.New("campaign: empty fault group")
 		}
 		for _, f := range g {
-			if f.Cycle != o.InjectCycle {
-				return out, fmt.Errorf("campaign: fault %v does not inject at cycle %d", &f, o.InjectCycle)
+			if f.Cycle < 0 {
+				return out, fmt.Errorf("campaign: fault %v injects at negative cycle", &f)
+			}
+			if f.Cycle != g[0].Cycle {
+				return out, fmt.Errorf("campaign: fault group mixes injection cycles %d and %d", g[0].Cycle, f.Cycle)
 			}
 		}
 	}
@@ -269,6 +298,23 @@ type Report struct {
 	// post-injection window ended; their tails were synthesized from the
 	// golden record instead of simulated.
 	ReconvergedHits int
+	// ForkedRuns counts runs that warm-started from a golden snapshot
+	// above cycle 0, skipping their [0, snapshot) prefix entirely.
+	ForkedRuns int
+	// SnapshotCount and SnapshotBytes describe the golden snapshot
+	// ring: how many full-state snapshots the golden run recorded and
+	// their estimated memory footprint.
+	SnapshotCount int
+	SnapshotBytes int64
+	// SimulatedCycles counts cycles faulty runs actually stepped
+	// (including fork replay) — the honest denominator for throughput.
+	// WarmstartCyclesSaved counts prefix cycles skipped by forking;
+	// SynthesizedCycles counts cycles whose outcome was synthesized
+	// (reconvergence tails, frozen drains and horizons) rather than
+	// stepped. None of these alter the serialized report.
+	SimulatedCycles      int64
+	WarmstartCyclesSaved int64
+	SynthesizedCycles    int64
 }
 
 // worker holds the per-worker reusable state: a CloneInto target
@@ -280,6 +326,25 @@ type worker struct {
 	flog *golden.Log
 }
 
+// groupCtx is the per-injection-cycle golden context shared by every
+// run injecting at that cycle: the snapshot to fork from, the golden
+// fingerprint at the fork point (each fork's replay is verified against
+// it), the golden reference log and ForEVeR monitor of the fault-free
+// continuation, the fault-free template, and the reconvergence context.
+type groupCtx struct {
+	cycle  int64
+	snap   *snapshot
+	forkFP uint64
+
+	goldenLog       *golden.Log
+	gfv             *forever.Monitor
+	goldenFvFP      bool
+	goldenEjections int
+
+	tmpl RunResult
+	rc   *reconvergence
+}
+
 // Run executes the campaign.
 func Run(opts Options) (*Report, error) {
 	o, err := opts.withDefaults()
@@ -287,89 +352,60 @@ func Run(opts Options) (*Report, error) {
 		return nil, err
 	}
 
-	// Golden run: warm to the injection cycle, fork the base state,
-	// then continue fault-free to produce the reference log.
-	warm, err := sim.New(o.Sim, nil)
+	// Distinct injection cycles, ascending. Each fault group carries its
+	// own cycle (withDefaults enforced homogeneity within a group).
+	var cycles []int64
+	seen := make(map[int64]bool)
+	for _, g := range o.FaultGroups {
+		if !seen[g[0].Cycle] {
+			seen[g[0].Cycle] = true
+			cycles = append(cycles, g[0].Cycle)
+		}
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
+
+	// Golden mainline: one fault-free run stepped once from cycle 0 to
+	// the last injection cycle, capturing the snapshot ring along the
+	// way and spawning one golden continuation per injection cycle.
+	plan := planSnapshots(&o, cycles)
+	ring := &snapshotRing{}
+	mainline, err := sim.New(o.Sim, nil)
 	if err != nil {
 		return nil, err
 	}
 	if !o.DisableForever {
-		warm.AttachMonitor(forever.NewMonitor(warm.RouterConfig(), o.Forever))
+		mainline.AttachMonitor(forever.NewMonitor(mainline.RouterConfig(), o.Forever))
 	}
-	for warm.Cycle() < o.InjectCycle {
-		warm.Step()
-	}
-	base := warm.Clone(nil)
-
-	goldenNet := warm // continues fault-free
 	wantReconv := !o.DisableFastPath && !o.DisableReconvergence
-	var tl *golden.Timeline
-	if wantReconv {
-		// Record the golden run's per-cycle state fingerprints through
-		// the post-injection window — the timeline faulty runs compare
-		// against once their fault plane goes quiescent. Recording is
-		// a one-time cost on the golden run only; with reconvergence
-		// disabled the plain Run loop below is untouched.
-		tl = golden.NewTimeline(int(o.PostInjectRun))
-		ejStart := len(goldenNet.Ejections())
-		for t := int64(0); t < o.PostInjectRun; t++ {
-			goldenNet.Step()
-			tl.Observe(goldenNet, goldenNet.Ejections()[ejStart:])
+	gcOf := make(map[int64]*groupCtx, len(cycles))
+	next := 0 // next snapshot plan entry
+	var tw worker
+	for ci, c := range cycles {
+		for {
+			if next < len(plan) && mainline.Cycle() == plan[next] {
+				ring.capture(mainline)
+				next++
+			}
+			if mainline.Cycle() >= c {
+				break
+			}
+			mainline.Step()
 		}
-	} else {
-		goldenNet.Run(o.PostInjectRun)
-	}
-	goldenDrained := goldenNet.Drain(o.DrainDeadline)
-	if !goldenDrained {
-		return nil, fmt.Errorf("campaign: fault-free golden run failed to drain by cycle %d (inflight=%d)",
-			goldenNet.Cycle(), goldenNet.InFlight())
-	}
-	if !o.DisableForever {
-		runHorizonExtra := foreverHorizon(goldenNet.Cycle(), o.Forever)
-		for goldenNet.Cycle() < runHorizonExtra {
-			goldenNet.Step()
+		gc, err := buildGroupCtx(mainline, ring, &tw, o, c, ci == len(cycles)-1, wantReconv)
+		if err != nil {
+			return nil, err
 		}
-	}
-	goldenLog := golden.FromEjections(goldenNet.Ejections(), o.InjectCycle)
-	gfv := findForever(goldenNet)
-	goldenFvFP := gfv != nil && gfv.FirstDetectionAfter(o.InjectCycle) >= 0
-
-	// Fault-free template for the fast path: one full run through the
-	// same per-fault code path, with an empty fault plane. A run whose
-	// faults provably never fired is bit-identical to this run, so its
-	// result can be copied instead of simulated (slices are shared
-	// read-only across all fast-path results).
-	var tmpl RunResult
-	if !o.DisableFastPath {
-		var tw worker
-		tmpl = runSlow(&tw, base, goldenLog, o, nil)
+		gcOf[c] = gc
 	}
 
-	// Reconvergence context for the workers. The synthesis shortcut is
-	// only sound when the golden continuation is clean: no NoCAlert
-	// assertion anywhere in the fault-free template (so freezing the
-	// engine at the reconvergence cycle loses nothing), a benign
-	// golden-vs-golden verdict, and — when ForEVeR is on — a golden
-	// monitor whose detection list stayed under its cap (so the recorded
-	// tail is complete). All of these hold for any sanely configured
-	// campaign; if one does not, reconvergence silently disables and
-	// every fired fault takes the full path.
-	var rc *reconvergence
-	if wantReconv {
-		sound := !tmpl.Detected && tmpl.Drained && tmpl.Verdict.OK()
-		if !o.DisableForever {
-			sound = sound && gfv != nil && len(gfv.Detections()) < forever.DetectionCap
-		}
-		if sound {
-			rc = &reconvergence{tl: tl, gfv: gfv, verdict: tmpl.Verdict}
-		}
-	}
-
+	first := gcOf[cycles[0]]
 	report := &Report{
 		Opts:                       o,
-		GoldenEjections:            goldenLog.Total(),
-		GoldenForeverFalsePositive: goldenFvFP,
+		GoldenEjections:            first.goldenEjections,
+		GoldenForeverFalsePositive: first.goldenFvFP,
 		Results:                    make([]RunResult, len(o.FaultGroups)),
+		SnapshotCount:              len(ring.snaps),
+		SnapshotBytes:              ring.bytes,
 	}
 
 	var (
@@ -378,11 +414,17 @@ func Run(opts Options) (*Report, error) {
 		done       int
 		fastHits   int
 		reconvHits int
+		forkedRuns int
+		simCycles  int64
+		warmSaved  int64
+		synthSaved int64
+		runErr     error
 	)
 	total := len(o.FaultGroups)
 	var inst *instruments
 	if o.Metrics != nil {
 		inst = newInstruments(o.Metrics, o.Workers, total)
+		o.Metrics.Gauge(MetricSnapshotBytes).Set(float64(ring.bytes))
 	}
 	// Per-run wall clocks are only read when someone is listening; the
 	// two time.Now calls are noise next to a run's milliseconds, but the
@@ -396,14 +438,28 @@ func Run(opts Options) (*Report, error) {
 			defer wg.Done()
 			var wk worker
 			for i := range jobs {
+				progMu.Lock()
+				failed := runErr != nil
+				progMu.Unlock()
+				if failed {
+					continue
+				}
 				var runStart time.Time
 				if needTiming {
 					runStart = time.Now()
 				}
-				res, exit, convCycles := runOne(&wk, base, goldenLog, &tmpl, rc, o, o.FaultGroups[i])
+				res, exit, convCycles, st, err := runOne(&wk, gcOf[o.FaultGroups[i][0].Cycle], o, o.FaultGroups[i])
 				var wall time.Duration
 				if needTiming {
 					wall = time.Since(runStart)
+				}
+				if err != nil {
+					progMu.Lock()
+					if runErr == nil {
+						runErr = err
+					}
+					progMu.Unlock()
+					continue
 				}
 				report.Results[i] = res
 				progMu.Lock()
@@ -414,8 +470,14 @@ func Run(opts Options) (*Report, error) {
 				case ExitReconverged:
 					reconvHits++
 				}
+				if st.forked {
+					forkedRuns++
+				}
+				simCycles += st.simulated
+				warmSaved += st.warmSaved
+				synthSaved += st.synthesized
 				if inst != nil {
-					inst.observe(&report.Results[i], wall, exit, convCycles, done, time.Since(campaignStart))
+					inst.observe(&report.Results[i], wall, exit, convCycles, &st, done, simCycles, time.Since(campaignStart))
 				}
 				if o.OnResult != nil {
 					o.OnResult(i, &report.Results[i], wall, exit)
@@ -427,10 +489,20 @@ func Run(opts Options) (*Report, error) {
 			}
 		}()
 	}
+	// Feed runs in injection-cycle order (stable within a cycle) so
+	// consecutive runs share a snapshot and its replayed gap stays warm
+	// in cache. Results remain input-indexed regardless of feed order.
+	order := make([]int, total)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return o.FaultGroups[order[a]][0].Cycle < o.FaultGroups[order[b]][0].Cycle
+	})
 	ctx := o.Context
 	var ctxErr error
 feed:
-	for i := range o.FaultGroups {
+	for _, i := range order {
 		select {
 		case jobs <- i:
 		case <-ctx.Done():
@@ -443,9 +515,105 @@ feed:
 	if ctxErr != nil {
 		return nil, ctxErr
 	}
+	progMu.Lock()
+	err = runErr
+	progMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
 	report.FastPathHits = fastHits
 	report.ReconvergedHits = reconvHits
+	report.ForkedRuns = forkedRuns
+	report.SimulatedCycles = simCycles
+	report.WarmstartCyclesSaved = warmSaved
+	report.SynthesizedCycles = synthSaved
 	return report, nil
+}
+
+// buildGroupCtx runs the golden continuation for injection cycle c —
+// the post-injection window (recording the reconvergence timeline when
+// wanted), the drain, and the ForEVeR horizon — and derives everything
+// runs at that cycle share. The mainline network itself continues for
+// the last injection cycle; earlier cycles continue on a clone so the
+// mainline can keep stepping toward the next fork point. The mainline
+// must be at cycle c and the ring must already hold a snapshot at or
+// before c.
+func buildGroupCtx(mainline *sim.Network, ring *snapshotRing, tw *worker, o Options, c int64, last, wantReconv bool) (*groupCtx, error) {
+	gc := &groupCtx{cycle: c, snap: ring.at(c), forkFP: mainline.Fingerprint()}
+	if gc.snap == nil {
+		return nil, fmt.Errorf("campaign: no golden snapshot at or before injection cycle %d", c)
+	}
+
+	cont := mainline
+	if !last {
+		cont = mainline.Clone(nil)
+	}
+	var tl *golden.Timeline
+	if wantReconv {
+		// Record the golden run's per-cycle state fingerprints through
+		// the post-injection window — the timeline faulty runs compare
+		// against once their fault plane goes quiescent. Recording is
+		// a one-time cost on the golden run only; with reconvergence
+		// disabled the plain Run loop below is untouched.
+		tl = golden.NewTimeline(int(o.PostInjectRun))
+		ejStart := len(cont.Ejections())
+		for t := int64(0); t < o.PostInjectRun; t++ {
+			cont.Step()
+			tl.Observe(cont, cont.Ejections()[ejStart:])
+		}
+	} else {
+		cont.Run(o.PostInjectRun)
+	}
+	if !cont.Drain(o.DrainDeadline) {
+		return nil, fmt.Errorf("campaign: fault-free golden run failed to drain by cycle %d (inflight=%d)",
+			cont.Cycle(), cont.InFlight())
+	}
+	if !o.DisableForever {
+		runHorizonExtra := foreverHorizon(cont.Cycle(), o.Forever)
+		for cont.Cycle() < runHorizonExtra {
+			cont.Step()
+		}
+	}
+	gc.goldenLog = golden.FromEjections(cont.Ejections(), c)
+	gc.goldenEjections = gc.goldenLog.Total()
+	gc.gfv = findForever(cont)
+	gc.goldenFvFP = gc.gfv != nil && gc.gfv.FirstDetectionAfter(c) >= 0
+
+	// Fault-free template for the fast path: one full run through the
+	// same per-fault code path — fork, replay, empty fault plane. A run
+	// whose faults provably never fired is bit-identical to this run, so
+	// its result can be copied instead of simulated (slices are shared
+	// read-only across all fast-path results). The template run also
+	// exercises the fork-point fingerprint verification for this cycle
+	// before any faulty run trusts it.
+	if !o.DisableFastPath {
+		var st runStats
+		tmpl, err := runSlow(tw, gc, o, nil, &st)
+		if err != nil {
+			return nil, err
+		}
+		gc.tmpl = tmpl
+	}
+
+	// Reconvergence context for the workers. The synthesis shortcut is
+	// only sound when the golden continuation is clean: no NoCAlert
+	// assertion anywhere in the fault-free template (so freezing the
+	// engine at the reconvergence cycle loses nothing), a benign
+	// golden-vs-golden verdict, and — when ForEVeR is on — a golden
+	// monitor whose detection list stayed under its cap (so the recorded
+	// tail is complete). All of these hold for any sanely configured
+	// campaign; if one does not, reconvergence silently disables and
+	// every fired fault takes the full path.
+	if wantReconv {
+		sound := !gc.tmpl.Detected && gc.tmpl.Drained && gc.tmpl.Verdict.OK()
+		if !o.DisableForever {
+			sound = sound && gc.gfv != nil && len(gc.gfv.Detections()) < forever.DetectionCap
+		}
+		if sound {
+			gc.rc = &reconvergence{tl: tl, gfv: gc.gfv, verdict: gc.tmpl.Verdict}
+		}
+	}
+	return gc, nil
 }
 
 // foreverHorizon returns the cycle up to which a run must continue so
@@ -459,6 +627,13 @@ func foreverHorizon(cycle int64, o forever.Options) int64 {
 	}
 	next := (cycle/epoch + 1) * epoch
 	return next + epoch
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func findForever(n *sim.Network) *forever.Monitor {
@@ -489,62 +664,74 @@ type reconvergence struct {
 // remaining cycle of the window.
 const reconvBackoffCap = 16
 
-// runOne executes one fault group's run. When the fast path is enabled
-// and every fault of the group provably expired without firing, the
-// remaining simulation is skipped and the fault-free template result is
-// returned (ExitFastPath); the template is exact because an inert
-// plane's run is bit-identical to the fault-free continuation from the
-// same base state. Otherwise, once the plane is quiescent (fired, but
-// can never fire again), each cycle's state is compared against the
-// golden timeline; on a fingerprint match with matching ejection
-// history the rest of the run is provably identical to golden's, so
-// the result is synthesized (ExitReconverged) instead of simulated.
-// convCycles is the reconvergence latency (cycles after injection);
-// zero for the other exit paths.
-func runOne(w *worker, base *sim.Network, goldenLog *golden.Log, tmpl *RunResult, rc *reconvergence, o Options, group []fault.Fault) (res RunResult, exit ExitPath, convCycles int64) {
-	if !o.DisableFastPath {
-		plane := fault.NewPlane(group...)
-		n := base.CloneInto(w.net, plane)
-		w.net = n
-		eng := core.NewEngine(n.RouterConfig(), core.Options{Disabled: o.CheckersDisabled})
-		n.AttachMonitor(eng)
-		fv := findForever(n)
-		if fv != nil {
-			fv.ClearDetections()
-		}
-		var nextTry int64 // earliest cycle for the next full fingerprint
-		gap := int64(1)
-		for t := int64(0); t < o.PostInjectRun; t++ {
-			n.Step()
-			if n.FaultsInert() {
-				res = *tmpl
-				res.Fault = group[0]
-				res.Group = group
-				return res, ExitFastPath, 0
-			}
-			if rc == nil || !n.FaultsQuiescent() || n.Cycle() < nextTry {
-				continue
-			}
-			pt, ok := rc.tl.At(n.Cycle())
-			if !ok || !countersMatch(n, &pt) {
-				continue
-			}
-			if n.Fingerprint() == pt.State &&
-				golden.EjectionsHash(n.Ejections()) == pt.EjectHash {
-				return synthesizeReconverged(n, eng, fv, rc, plane, o, group),
-					ExitReconverged, n.Cycle() - o.InjectCycle
-			}
-			// Counters agreed but state did not (the perturbation is
-			// still washing out, or the run diverged for good with
-			// conserved flit counts): back off before hashing again.
-			if gap < reconvBackoffCap {
-				gap *= 2
-			}
-			nextTry = n.Cycle() + gap
-		}
-		return finishRun(n, eng, fv, plane, goldenLog, o, group, w), ExitFull, 0
+// runOne executes one fault group's run. The run forks from the
+// nearest golden snapshot at or before its injection cycle (replaying
+// the gap fault-free) rather than simulating its whole prefix. When the
+// fast path is enabled and every fault of the group provably expired
+// without firing, the remaining simulation is skipped and the
+// fault-free template result is returned (ExitFastPath); the template
+// is exact because an inert plane's run is bit-identical to the
+// fault-free continuation from the same forked state. Otherwise, once
+// the plane is quiescent (fired, but can never fire again), each
+// cycle's state is compared against the golden timeline; on a
+// fingerprint match with matching ejection history the rest of the run
+// is provably identical to golden's, so the result is synthesized
+// (ExitReconverged) instead of simulated. convCycles is the
+// reconvergence latency (cycles after injection); zero for the other
+// exit paths.
+func runOne(w *worker, gc *groupCtx, o Options, group []fault.Fault) (res RunResult, exit ExitPath, convCycles int64, st runStats, err error) {
+	if o.DisableFastPath {
+		res, err = runSlow(w, gc, o, group, &st)
+		return res, ExitFull, 0, st, err
 	}
-	return runSlow(w, base, goldenLog, o, group), ExitFull, 0
+	plane := fault.NewPlane(group...)
+	n, err := w.fork(gc, plane, &st)
+	if err != nil {
+		return res, ExitFull, 0, st, err
+	}
+	eng := core.NewEngine(n.RouterConfig(), core.Options{Disabled: o.CheckersDisabled})
+	n.AttachMonitor(eng)
+	fv := findForever(n)
+	if fv != nil {
+		fv.ClearDetections()
+	}
+	rc := gc.rc
+	var nextTry int64 // earliest cycle for the next full fingerprint
+	gap := int64(1)
+	for t := int64(0); t < o.PostInjectRun; t++ {
+		n.Step()
+		if n.FaultsInert() {
+			res = gc.tmpl
+			res.Fault = group[0]
+			res.Group = group
+			st.simulated = n.Cycle() - gc.snap.cycle
+			return res, ExitFastPath, 0, st, nil
+		}
+		if rc == nil || !n.FaultsQuiescent() || n.Cycle() < nextTry {
+			continue
+		}
+		pt, ok := rc.tl.At(n.Cycle())
+		if !ok || !countersMatch(n, &pt) {
+			continue
+		}
+		if n.Fingerprint() == pt.State &&
+			golden.EjectionsHash(n.Ejections()) == pt.EjectHash {
+			st.simulated = n.Cycle() - gc.snap.cycle
+			st.synthesized += gc.cycle + o.PostInjectRun - n.Cycle()
+			return synthesizeReconverged(n, eng, fv, rc, plane, gc.cycle, group),
+				ExitReconverged, n.Cycle() - gc.cycle, st, nil
+		}
+		// Counters agreed but state did not (the perturbation is
+		// still washing out, or the run diverged for good with
+		// conserved flit counts): back off before hashing again.
+		if gap < reconvBackoffCap {
+			gap *= 2
+		}
+		nextTry = n.Cycle() + gap
+	}
+	res = finishRun(n, eng, fv, plane, gc, o, group, w, &st)
+	st.simulated = n.Cycle() - gc.snap.cycle
+	return res, ExitFull, 0, st, nil
 }
 
 // countersMatch is the cheap precheck run before paying for a full
@@ -572,7 +759,7 @@ func countersMatch(n *sim.Network, pt *golden.TimelinePoint) bool {
 // and ForEVeR's counter state, a function of the injection and ejection
 // histories alone, equals the golden monitor's, so its future flags are
 // the golden monitor's recorded tail.
-func synthesizeReconverged(n *sim.Network, eng *core.Engine, fv *forever.Monitor, rc *reconvergence, plane *fault.Plane, o Options, group []fault.Fault) RunResult {
+func synthesizeReconverged(n *sim.Network, eng *core.Engine, fv *forever.Monitor, rc *reconvergence, plane *fault.Plane, injectCycle int64, group []fault.Fault) RunResult {
 	fired := false
 	for i := range group {
 		if plane.FiredAt(i) >= 0 {
@@ -600,7 +787,7 @@ func synthesizeReconverged(n *sim.Network, eng *core.Engine, fv *forever.Monitor
 	// every classification below.
 	res.Outcome = classify(res.Detected, false)
 	if res.Detected {
-		res.Latency = res.DetectCycle - o.InjectCycle
+		res.Latency = res.DetectCycle - injectCycle
 	} else {
 		res.Latency = -1
 	}
@@ -608,7 +795,7 @@ func synthesizeReconverged(n *sim.Network, eng *core.Engine, fv *forever.Monitor
 	res.CautiousDetected = eng.FirstHighRiskDetection() >= 0
 	res.CautiousOutcome = classify(res.CautiousDetected, false)
 	if res.CautiousDetected {
-		res.CautiousLatency = eng.FirstHighRiskDetection() - o.InjectCycle
+		res.CautiousLatency = eng.FirstHighRiskDetection() - injectCycle
 	} else {
 		res.CautiousLatency = -1
 	}
@@ -618,13 +805,13 @@ func synthesizeReconverged(n *sim.Network, eng *core.Engine, fv *forever.Monitor
 		// come first; past the reconvergence cycle the faulty run would
 		// flag exactly when the golden monitor did, so the recorded
 		// golden tail completes the picture.
-		fd := fv.FirstDetectionAfter(o.InjectCycle)
+		fd := fv.FirstDetectionAfter(injectCycle)
 		if fd < 0 && rc.gfv != nil {
 			fd = rc.gfv.FirstDetectionAfter(n.Cycle())
 		}
 		res.ForeverDetected = fd >= 0
 		if res.ForeverDetected {
-			res.ForeverLatency = fd - o.InjectCycle
+			res.ForeverLatency = fd - injectCycle
 		} else {
 			res.ForeverLatency = -1
 		}
@@ -638,10 +825,12 @@ func synthesizeReconverged(n *sim.Network, eng *core.Engine, fv *forever.Monitor
 // runSlow executes one run end to end with no early exit. A nil group
 // runs with an empty fault plane (used to compute the fast-path
 // template).
-func runSlow(w *worker, base *sim.Network, goldenLog *golden.Log, o Options, group []fault.Fault) RunResult {
+func runSlow(w *worker, gc *groupCtx, o Options, group []fault.Fault, st *runStats) (RunResult, error) {
 	plane := fault.NewPlane(group...)
-	n := base.CloneInto(w.net, plane)
-	w.net = n
+	n, err := w.fork(gc, plane, st)
+	if err != nil {
+		return RunResult{}, err
+	}
 	eng := core.NewEngine(n.RouterConfig(), core.Options{Disabled: o.CheckersDisabled})
 	n.AttachMonitor(eng)
 	fv := findForever(n)
@@ -649,7 +838,9 @@ func runSlow(w *worker, base *sim.Network, goldenLog *golden.Log, o Options, gro
 		fv.ClearDetections()
 	}
 	n.Run(o.PostInjectRun)
-	return finishRun(n, eng, fv, plane, goldenLog, o, group, w)
+	res := finishRun(n, eng, fv, plane, gc, o, group, w, st)
+	st.simulated = n.Cycle() - gc.snap.cycle
+	return res, nil
 }
 
 // finishRun drains the network, runs out the ForEVeR horizon, and
@@ -658,17 +849,79 @@ func runSlow(w *worker, base *sim.Network, goldenLog *golden.Log, o Options, gro
 // after the drain, so it is skipped when no monitor is attached and the
 // drain succeeded (an undrained network still steps to the horizon: the
 // extra cycles can surface NoCAlert assertions on stuck traffic).
-func finishRun(n *sim.Network, eng *core.Engine, fv *forever.Monitor, plane *fault.Plane, goldenLog *golden.Log, o Options, group []fault.Fault, w *worker) RunResult {
-	drained := n.Drain(o.DrainDeadline)
-	if fv != nil || !drained {
-		horizon := foreverHorizon(n.Cycle(), o.Forever)
-		for n.Cycle() < horizon {
+//
+// With fast-forward enabled, both phases probe for a frozen fixed point
+// (see ffProbe) and synthesize the remainder exactly instead of
+// stepping it: a frozen non-quiet network can never drain, so the drain
+// verdict is the deadline miss it was headed for; a frozen network
+// steps identically through the rest of the horizon, so all that is
+// left to compute is ForEVeR's epoch-boundary arithmetic (projected
+// from the frozen counters without mutating the monitor) and the
+// NoCAlert accumulators (the steady assertion pattern, replayed via
+// ffProbe.extend — a deadlocked router that keeps asserting still
+// freezes, it just fast-forwards its assertions along with its state).
+func finishRun(n *sim.Network, eng *core.Engine, fv *forever.Monitor, plane *fault.Plane, gc *groupCtx, o Options, group []fault.Fault, w *worker, st *runStats) RunResult {
+	var drained, frozen bool
+	projectUntil := int64(-1)
+	if o.DisableFastForward {
+		drained = n.Drain(o.DrainDeadline)
+		if fv != nil || !drained {
+			horizon := foreverHorizon(n.Cycle(), o.Forever)
+			for n.Cycle() < horizon {
+				n.Step()
+			}
+		}
+	} else {
+		var probe ffProbe
+		n.StopInjection()
+		drainEnd := n.Cycle() + o.DrainDeadline
+		for n.Cycle() < drainEnd {
+			if n.Quiet() {
+				drained = true
+				break
+			}
+			if probe.frozen(n, eng, fv) {
+				frozen = true
+				break
+			}
 			n.Step()
+		}
+		if !drained && !frozen {
+			drained = n.Quiet()
+		}
+		logical := n.Cycle()
+		if frozen {
+			// A frozen, non-quiet network would have stepped unchanged
+			// to the deadline and missed it.
+			st.synthesized += drainEnd - n.Cycle()
+			logical = drainEnd
+		}
+		if fv != nil || !drained {
+			horizon := foreverHorizon(logical, o.Forever)
+			if !frozen {
+				for n.Cycle() < horizon {
+					if probe.frozen(n, eng, fv) {
+						frozen = true
+						break
+					}
+					n.Step()
+				}
+			}
+			if frozen {
+				st.synthesized += horizon - max64(n.Cycle(), logical)
+				projectUntil = horizon
+			}
+		}
+		if frozen {
+			// The frozen state re-emits its assertion pattern on every
+			// synthesized cycle; fold all of them into the engine so the
+			// accumulators match a full simulation to the horizon.
+			probe.extend(eng, projectUntil-n.Cycle())
 		}
 	}
 
-	w.flog = golden.FromEjectionsInto(w.flog, n.Ejections(), o.InjectCycle)
-	verdict := golden.Compare(goldenLog, w.flog, drained)
+	w.flog = golden.FromEjectionsInto(w.flog, n.Ejections(), gc.cycle)
+	verdict := golden.Compare(gc.goldenLog, w.flog, drained)
 	malicious := !verdict.OK()
 
 	fired := false
@@ -696,7 +949,7 @@ func finishRun(n *sim.Network, eng *core.Engine, fv *forever.Monitor, plane *fau
 	}
 	res.Outcome = classify(res.Detected, malicious)
 	if res.Detected {
-		res.Latency = res.DetectCycle - o.InjectCycle
+		res.Latency = res.DetectCycle - gc.cycle
 	} else {
 		res.Latency = -1
 	}
@@ -704,16 +957,21 @@ func finishRun(n *sim.Network, eng *core.Engine, fv *forever.Monitor, plane *fau
 	res.CautiousDetected = eng.FirstHighRiskDetection() >= 0
 	res.CautiousOutcome = classify(res.CautiousDetected, malicious)
 	if res.CautiousDetected {
-		res.CautiousLatency = eng.FirstHighRiskDetection() - o.InjectCycle
+		res.CautiousLatency = eng.FirstHighRiskDetection() - gc.cycle
 	} else {
 		res.CautiousLatency = -1
 	}
 
 	if fv != nil {
-		fd := fv.FirstDetectionAfter(o.InjectCycle)
+		fd := fv.FirstDetectionAfter(gc.cycle)
+		if fd < 0 && projectUntil >= 0 {
+			// The frozen state replays identically through [n.Cycle(),
+			// projectUntil): only the epoch-boundary checks remain.
+			fd = fv.ProjectFrozenDetection(n.Cycle(), projectUntil)
+		}
 		res.ForeverDetected = fd >= 0
 		if res.ForeverDetected {
-			res.ForeverLatency = fd - o.InjectCycle
+			res.ForeverLatency = fd - gc.cycle
 		} else {
 			res.ForeverLatency = -1
 		}

@@ -1,0 +1,95 @@
+package campaign
+
+import (
+	"nocalert/internal/core"
+	"nocalert/internal/forever"
+	"nocalert/internal/sim"
+)
+
+// runStats counts what one run actually cost versus what it skipped:
+// the honest accounting behind the throughput metrics, so synthesized
+// and skipped-prefix cycles never inflate the live gauges.
+type runStats struct {
+	// simulated is the number of cycles the run really stepped,
+	// including any fork replay below the injection cycle.
+	simulated int64
+	// warmSaved is the prefix [0, snapshot) the fork never simulated.
+	warmSaved int64
+	// synthesized counts cycles whose outcome was derived instead of
+	// stepped: reconvergence tails through the window end, and frozen
+	// drain/horizon remainders.
+	synthesized int64
+	// forked reports the run warm-started above cycle 0.
+	forked bool
+}
+
+// ffBackoffCap bounds the exponential backoff between fixed-point probe
+// attempts, so livelocked runs that never freeze pay a static
+// fingerprint on a few percent of their cycles at worst.
+const ffBackoffCap = 64
+
+// ffProbe detects frozen network states during a run's drain and
+// ForEVeR-horizon phases. A state is provably frozen when (a) the fault
+// plane can never fire again, (b) no ForEVeR checker-network
+// notification is in flight, and (c) the cycle-independent state
+// fingerprint is identical at two consecutive cycle boundaries. Every
+// stamped queue in the simulator carries at most one cycle of lookahead
+// and injection is off in both phases (no RNG draws), so (c) alone
+// makes the network state a fixed point; (a)–(b) extend that fixed
+// point to the fault plane and ForEVeR's verdict-relevant state. What
+// remains is exactly reconstructible without stepping: ForEVeR's
+// epoch-boundary bookkeeping via forever.Monitor.ProjectFrozenDetection,
+// and the NoCAlert engine's accumulators via core.Engine.AdvanceSteady —
+// a deadlocked router re-emits the identical assertion multiset every
+// cycle (checkers are pure functions of the signal record), and the
+// probe captures that multiset across its confirming step.
+type ffProbe struct {
+	fp      uint64
+	fpCycle int64 // boundary fp was taken at; -1 when not armed
+	mark    core.AccumMark
+	nextTry int64
+	gap     int64
+}
+
+// frozen reports whether the network at the current cycle boundary is
+// provably a fixed point. Call it at every boundary of a phase loop: it
+// arms on one boundary and confirms on the next, backing off after each
+// failed pair. On confirmation p.mark spans exactly the probed step, so
+// extend can replay the steady assertion pattern.
+func (p *ffProbe) frozen(n *sim.Network, eng *core.Engine, fv *forever.Monitor) bool {
+	if p.gap == 0 {
+		p.gap, p.fpCycle = 1, -1
+	}
+	if !n.FaultsQuiescent() || (fv != nil && !fv.PendingEmpty()) {
+		p.fpCycle = -1
+		return false
+	}
+	t := n.Cycle()
+	if t < p.nextTry {
+		return false
+	}
+	fp := n.StaticFingerprint()
+	if p.fpCycle == t-1 {
+		if p.fp == fp && eng.AdvanceSteady(p.mark, 0) {
+			return true
+		}
+		// Still evolving (or the steady pattern can't be synthesized):
+		// back off before paying for the next pair.
+		if p.gap < ffBackoffCap {
+			p.gap *= 2
+		}
+		p.nextTry = t + p.gap
+		p.fpCycle = -1
+		return false
+	}
+	p.fp, p.fpCycle, p.mark = fp, t, eng.Mark()
+	return false
+}
+
+// extend folds m synthesized cycles of the frozen state's assertion
+// pattern into the engine, keeping its accumulators bit-identical to a
+// full simulation of those cycles. Only valid after frozen returned
+// true (the mark spans the confirming step) with no steps since.
+func (p *ffProbe) extend(eng *core.Engine, m int64) {
+	eng.AdvanceSteady(p.mark, m)
+}

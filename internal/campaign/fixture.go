@@ -56,7 +56,7 @@ func ReadFixture(r io.Reader) (*Fixture, error) {
 // latency or checker-attribution drift is caught fault by fault.
 func (f *Fixture) Diff(got *Fixture) []string {
 	var diffs []string
-	if f.Spec != got.Spec {
+	if f.Spec.Hash() != got.Spec.Hash() {
 		diffs = append(diffs, fmt.Sprintf("spec differs: golden %+v, got %+v", f.Spec, got.Spec))
 	}
 	if len(f.Records) != len(got.Records) {

@@ -143,7 +143,7 @@ func ReportFromRecords(spec Spec, recs []trace.RunRecord) (*Report, error) {
 		if rec.Index != i {
 			return nil, fmt.Errorf("campaign: record set is not a gap-free index sequence (position %d has index %d)", i, rec.Index)
 		}
-		res, err := resultFromRecord(rec, spec.InjectCycle)
+		res, err := resultFromRecord(rec)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: record %d: %v", rec.Index, err)
 		}

@@ -32,9 +32,30 @@ const (
 	// latencies: cycles from injection until the state fingerprint
 	// matched golden's (exponential buckets 1 … 32768 cycles).
 	MetricReconvergenceCycles = "campaign_reconvergence_cycles"
+	// MetricForkedRuns counts runs that warm-started from a golden
+	// snapshot above cycle 0, skipping their [0, snapshot) prefix.
+	MetricForkedRuns = "campaign_forked_runs_total"
+	// MetricWarmstartSaved counts the prefix cycles injection-point
+	// forking never simulated, summed over runs.
+	MetricWarmstartSaved = "campaign_warmstart_cycles_saved"
+	// MetricSnapshotBytes is a gauge holding the estimated memory
+	// footprint of the golden snapshot ring.
+	MetricSnapshotBytes = "campaign_snapshot_bytes"
+	// MetricSimulatedCycles counts cycles faulty runs actually stepped
+	// (including fork replay); MetricSynthesizedCycles counts cycles
+	// whose outcome was synthesized instead (reconvergence tails,
+	// frozen drains and horizons). Together they keep warm-start and
+	// synthesis savings out of the honest throughput accounting.
+	MetricSimulatedCycles   = "campaign_cycles_simulated_total"
+	MetricSynthesizedCycles = "campaign_cycles_synthesized_total"
 	// MetricFaultsPerSec is the live throughput gauge, updated under
-	// the progress mutex after every completed run.
-	MetricFaultsPerSec = "campaign_faults_per_sec"
+	// the progress mutex after every completed run. It is wall-clock
+	// honest (completed runs over elapsed seconds) no matter how many
+	// cycles the fast paths skipped; MetricSimCyclesPerSec is the
+	// companion gauge of really-simulated cycles per second, immune to
+	// synthesized and skipped-prefix inflation.
+	MetricFaultsPerSec    = "campaign_faults_per_sec"
+	MetricSimCyclesPerSec = "campaign_sim_cycles_per_sec"
 	// MetricWorkers is the resolved worker-pool size.
 	MetricWorkers = "campaign_workers"
 	// MetricRunSeconds is the per-run wall-time histogram (seconds,
@@ -85,6 +106,11 @@ type instruments struct {
 	runSeconds   *metrics.Histogram
 	reconvCycles *metrics.Histogram
 	faultsPS     *metrics.Gauge
+	forkedRuns   *metrics.Counter
+	warmSaved    *metrics.Counter
+	simCycles    *metrics.Counter
+	synthCycles  *metrics.Counter
+	simCyclesPS  *metrics.Gauge
 }
 
 func newInstruments(reg *metrics.Registry, workers, totalRuns int) *instruments {
@@ -101,6 +127,11 @@ func newInstruments(reg *metrics.Registry, workers, totalRuns int) *instruments 
 		runSeconds:   reg.Histogram(MetricRunSeconds, runSecondsBounds),
 		reconvCycles: reg.Histogram(MetricReconvergenceCycles, reconvCyclesBounds),
 		faultsPS:     reg.Gauge(MetricFaultsPerSec),
+		forkedRuns:   reg.Counter(MetricForkedRuns),
+		warmSaved:    reg.Counter(MetricWarmstartSaved),
+		simCycles:    reg.Counter(MetricSimulatedCycles),
+		synthCycles:  reg.Counter(MetricSynthesizedCycles),
+		simCyclesPS:  reg.Gauge(MetricSimCyclesPerSec),
 	}
 	for m := range in.outcomes {
 		for o := range in.outcomes[m] {
@@ -113,10 +144,19 @@ func newInstruments(reg *metrics.Registry, workers, totalRuns int) *instruments 
 }
 
 // observe records one completed run. Called under the progress mutex,
-// so done/elapsed form a consistent throughput sample; the instruments
-// themselves are atomic and need no lock.
-func (in *instruments) observe(res *RunResult, wall time.Duration, exit ExitPath, convCycles int64, done int, elapsed time.Duration) {
+// so done/simCycles/elapsed form consistent throughput samples; the
+// instruments themselves are atomic and need no lock. st is the run's
+// honest cycle accounting and simCycles the campaign's running total of
+// really-simulated cycles — synthesized and skipped-prefix cycles feed
+// their own counters instead of inflating the live gauges.
+func (in *instruments) observe(res *RunResult, wall time.Duration, exit ExitPath, convCycles int64, st *runStats, done int, simCycles int64, elapsed time.Duration) {
 	in.runs.Inc()
+	if st.forked {
+		in.forkedRuns.Inc()
+	}
+	in.warmSaved.Add(st.warmSaved)
+	in.simCycles.Add(st.simulated)
+	in.synthCycles.Add(st.synthesized)
 	switch exit {
 	case ExitFastPath:
 		in.fastHits.Inc()
@@ -145,5 +185,6 @@ func (in *instruments) observe(res *RunResult, wall time.Duration, exit ExitPath
 	in.runSeconds.Observe(wall.Seconds())
 	if s := elapsed.Seconds(); s > 0 {
 		in.faultsPS.Set(float64(done) / s)
+		in.simCyclesPS.Set(float64(simCycles) / s)
 	}
 }

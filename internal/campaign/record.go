@@ -79,8 +79,10 @@ func RecordFor(index int, res *RunResult, wall time.Duration, fastPath bool) tra
 // the aggregated report reads. Fields the record does not carry (the
 // simultaneity histogram, the full verdict breakdown) stay zero; no
 // report aggregation consumes them. The synthetic Verdict reproduces
-// only OK() and Unbounded, which is all the reducers ask of it.
-func resultFromRecord(rec *trace.RunRecord, injectCycle int64) (RunResult, error) {
+// only OK() and Unbounded, which is all the reducers ask of it. The
+// record's own fault cycle anchors DetectCycle, so mixed-injection-cycle
+// universes rebuild correctly.
+func resultFromRecord(rec *trace.RunRecord) (RunResult, error) {
 	kind, err := fault.ParseKind(rec.Signal)
 	if err != nil {
 		return RunResult{}, err
@@ -122,7 +124,7 @@ func resultFromRecord(rec *trace.RunRecord, injectCycle int64) (RunResult, error
 	res.Detected = res.Outcome == TruePositive || res.Outcome == FalsePositive
 	res.Latency = rec.Latency
 	if res.Detected {
-		res.DetectCycle = injectCycle + rec.Latency
+		res.DetectCycle = rec.Cycle + rec.Latency
 	} else {
 		res.DetectCycle = -1
 	}

@@ -32,6 +32,15 @@ type ShardRunOptions struct {
 	// DisableReconvergence turns off golden-state reconvergence
 	// detection (see Options.DisableReconvergence).
 	DisableReconvergence bool
+	// DisableFork turns off injection-point forking (see
+	// Options.DisableFork). Result-invisible either way.
+	DisableFork bool
+	// SnapshotInterval fixes the golden snapshot spacing; 0 picks it
+	// adaptively (see Options.SnapshotInterval).
+	SnapshotInterval int64
+	// DisableFastForward turns off frozen-state fast-forwarding (see
+	// Options.DisableFastForward). Result-invisible either way.
+	DisableFastForward bool
 	// Progress, when non-nil, is invoked after each newly executed run
 	// with the shard-level completion count (resumed runs included), the
 	// shard's total run count and a snapshot of the running stats (for
@@ -70,6 +79,13 @@ type ShardRunStats struct {
 	// Reconverged counts runs among Executed+Verified ended early by
 	// golden-state reconvergence.
 	Reconverged int
+	// FullSim counts runs among Executed+Verified that simulated their
+	// window, drain and horizon end to end (no early exit).
+	FullSim int
+	// Forked counts runs that warm-started from a golden snapshot above
+	// cycle 0. Filled in when the underlying campaign finishes (the
+	// per-run callback does not see fork decisions).
+	Forked int
 	// Complete reports whether the checkpoint now covers the whole
 	// shard (and carries its integrity footer).
 	Complete bool
@@ -192,6 +208,9 @@ func RunShard(sh *Shard, cp *trace.Checkpoint, completed []trace.RunRecord, o Sh
 	opts.Workers = o.Workers
 	opts.DisableFastPath = o.DisableFastPath
 	opts.DisableReconvergence = o.DisableReconvergence
+	opts.DisableFork = o.DisableFork
+	opts.SnapshotInterval = o.SnapshotInterval
+	opts.DisableFastForward = o.DisableFastForward
 	opts.Metrics = o.Metrics
 	opts.Context = ctx
 	opts.OnResult = func(i int, res *RunResult, wall time.Duration, exit ExitPath) {
@@ -209,6 +228,8 @@ func RunShard(sh *Shard, cp *trace.Checkpoint, completed []trace.RunRecord, o Sh
 			stats.FastPathHits++
 		case ExitReconverged:
 			stats.Reconverged++
+		default:
+			stats.FullSim++
 		}
 		if j.verify {
 			stats.Verified++
@@ -231,13 +252,14 @@ func RunShard(sh *Shard, cp *trace.Checkpoint, completed []trace.RunRecord, o Sh
 			o.Progress(shardDone, stats.Total, *stats)
 		}
 	}
-	_, err := Run(opts)
+	rep, err := Run(opts)
 	if firstErr != nil {
 		return stats, firstErr
 	}
 	if err != nil {
 		return stats, err
 	}
+	stats.Forked = rep.ForkedRuns
 	if stats.Resumed+stats.Executed == stats.Total {
 		stats.Complete = true
 		return stats, cp.Finalize()

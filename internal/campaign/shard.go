@@ -36,6 +36,12 @@ type Spec struct {
 	InjectionRate float64 `json:"injection_rate"`
 	Seed          uint64  `json:"seed"`
 	InjectCycle   int64   `json:"inject_cycle"`
+	// InjectCycles, when non-empty, distributes the sampled universe's
+	// injection cycles round-robin over this list (fault i injects at
+	// InjectCycles[i%len]). Empty means every fault injects at
+	// InjectCycle, which keeps the spec hash — and therefore every
+	// existing checkpoint's identity — unchanged.
+	InjectCycles  []int64 `json:"inject_cycles,omitempty"`
 	PostInjectRun int64   `json:"post_inject_run"`
 	DrainDeadline int64   `json:"drain_deadline"`
 	Epoch         int64   `json:"epoch"`
@@ -58,6 +64,14 @@ func (s *Spec) Validate() error {
 	}
 	if s.NumFaults < 0 {
 		return fmt.Errorf("campaign: invalid fault count %d", s.NumFaults)
+	}
+	if s.InjectCycle < 0 {
+		return fmt.Errorf("campaign: invalid injection cycle %d", s.InjectCycle)
+	}
+	for _, c := range s.InjectCycles {
+		if c < 0 {
+			return fmt.Errorf("campaign: invalid injection cycle %d", c)
+		}
 	}
 	return nil
 }
@@ -83,11 +97,19 @@ func (s *Spec) Options() Options {
 
 // Universe returns the spec's full fault list. The draw depends only
 // on the spec — crucially never on shard count or execution order —
-// so every shard slices the same list.
+// so every shard slices the same list. A non-empty InjectCycles list
+// restamps the draw round-robin, after sampling, so the set of fault
+// locations is independent of how injection cycles are spread.
 func (s *Spec) Universe() []fault.Fault {
 	rc := s.RouterConfig()
 	params := fault.Params{Mesh: rc.Mesh, VCs: rc.VCs, BufDepth: rc.BufDepth}
-	return SampleFaults(params, s.NumFaults, s.Seed, s.InjectCycle)
+	u := SampleFaults(params, s.NumFaults, s.Seed, s.InjectCycle)
+	if len(s.InjectCycles) > 0 {
+		for i := range u {
+			u[i].Cycle = s.InjectCycles[i%len(s.InjectCycles)]
+		}
+	}
+	return u
 }
 
 // Hash fingerprints the spec (FNV-1a over its canonical JSON).

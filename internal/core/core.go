@@ -264,6 +264,62 @@ func (e *Engine) EndCycle(cycle int64) {
 	}
 }
 
+// AccumMark is a snapshot of the engine's assertion accumulators at a
+// cycle boundary; see AdvanceSteady.
+type AccumMark struct {
+	total      int64
+	perChecker [NumCheckers + 1]int64
+}
+
+// Mark snapshots the assertion accumulators at the current boundary.
+func (e *Engine) Mark() AccumMark {
+	return AccumMark{total: e.total, perChecker: e.perChecker}
+}
+
+// AdvanceSteady extends the accumulators by m extra cycles of the
+// assertion pattern observed since mark, which the caller guarantees
+// spans exactly one simulated cycle of a state the network can never
+// leave. The extrapolation is exact: every checker is a pure function
+// of the router signal record (the cycle number only stamps violation
+// text), so a network at a fixed point re-emits the identical
+// assertion multiset each subsequent cycle — same totals, same
+// per-checker counts, same simultaneity bucket. First-detection
+// fields need no update: any checker asserting in the steady state
+// already asserted during the observed cycle. A zero m performs only
+// the feasibility check. AdvanceSteady reports whether the advance
+// applies; it refuses when violation retention is on and the pattern
+// is non-empty, since the retained list would need m new entries.
+func (e *Engine) AdvanceSteady(mark AccumMark, m int64) bool {
+	dTotal := e.total - mark.total
+	if dTotal == 0 {
+		return true
+	}
+	if e.opts.KeepViolations {
+		return false
+	}
+	if m <= 0 {
+		return true
+	}
+	k := 0
+	alone := CheckerID(0)
+	for i := 1; i <= NumCheckers; i++ {
+		if d := e.perChecker[i] - mark.perChecker[i]; d > 0 {
+			e.perChecker[i] += d * m
+			k++
+			alone = CheckerID(i)
+		}
+	}
+	e.total += dTotal * m
+	for len(e.simulHist) <= k {
+		e.simulHist = append(e.simulHist, 0)
+	}
+	e.simulHist[k] += m
+	if k == 1 {
+		e.perCheckerAlone[alone] += m
+	}
+	return true
+}
+
 // Violations returns retained violations (KeepViolations only).
 func (e *Engine) Violations() []Violation { return e.violations }
 

@@ -201,6 +201,49 @@ func (m *Monitor) flag(cycle int64) {
 	}
 }
 
+// PendingEmpty reports whether no checker-network notification is in
+// flight. With injection stopped this is monotone once true; campaign
+// fast-forward requires it before trusting a frozen network state,
+// since a matured notification would bump a counter the epoch check
+// reads.
+func (m *Monitor) PendingEmpty() bool { return len(m.pending) == 0 }
+
+// ProjectFrozenDetection computes when the epoch mechanism would first
+// flag, given that from cycle `from` onward EndCycle runs with no
+// pending notifications and counters that never change (a frozen
+// network). It returns the first epoch-boundary detection cycle in
+// [from, until), or -1 if none would fire — without mutating the
+// monitor. Derivation against EndCycle: at the first boundary b1 the
+// zero-crossing sweep has already ORed counters[i]==0 into zeroSeen, so
+// a node flags iff its counter is nonzero and it never saw zero; the
+// boundary then resets zeroSeen to counters[i]==0, so at b1+epoch (and
+// every boundary after) a node flags iff its counter is nonzero. The
+// caller passes `until` = the run's ForEVeR horizon (exclusive: the
+// last simulated EndCycle is for cycle until-1).
+func (m *Monitor) ProjectFrozenDetection(from, until int64) int64 {
+	e := m.opts.Epoch
+	// First boundary cycle b >= from, i.e. smallest b with (b+1)%e == 0.
+	b1 := (from+e)/e*e - 1
+	if b1 >= until {
+		return -1
+	}
+	for i, c := range m.counters {
+		if c != 0 && !m.zeroSeen[i] {
+			return b1
+		}
+	}
+	b2 := b1 + e
+	if b2 >= until {
+		return -1
+	}
+	for _, c := range m.counters {
+		if c != 0 {
+			return b2
+		}
+	}
+	return -1
+}
+
 // FirstDetection returns the first detection cycle, or -1.
 func (m *Monitor) FirstDetection() int64 { return m.first }
 

@@ -60,10 +60,14 @@ type Event struct {
 	// campaign has a live throughput sample (see campaign.EstimateETA).
 	FaultsPerSec float64 `json:"faults_per_sec,omitempty"`
 	ETASeconds   float64 `json:"eta_seconds,omitempty"`
-	// FastPathHits/Reconverged are the running exit-path counts among
-	// the newly executed runs (progress events only).
+	// FastPathHits/Reconverged/FullSim are the running exit-path counts
+	// among the newly executed runs (progress events only). Forked
+	// counts warm-started runs; the campaign reports it when it
+	// finishes, so it appears on the final event.
 	FastPathHits int    `json:"fast_path_hits,omitempty"`
 	Reconverged  int    `json:"reconverged,omitempty"`
+	FullSim      int    `json:"full_sim,omitempty"`
+	Forked       int    `json:"forked,omitempty"`
 	Error        string `json:"error,omitempty"`
 	// Dropped counts events this subscriber missed immediately before
 	// this one because it consumed too slowly (the stream truncates
@@ -96,6 +100,8 @@ type Job struct {
 	verified    int
 	fastPath    int
 	reconverged int
+	fullSim     int
+	forked      int
 	errMsg      string
 	submitted   time.Time
 	started     time.Time
@@ -142,6 +148,8 @@ type View struct {
 	Verified        int           `json:"verified,omitempty"`
 	FastPathHits    int           `json:"fast_path_hits,omitempty"`
 	ReconvergedHits int           `json:"reconverged_hits,omitempty"`
+	FullSimRuns     int           `json:"full_sim_runs,omitempty"`
+	ForkedRuns      int           `json:"forked_runs,omitempty"`
 	Error           string        `json:"error,omitempty"`
 	SubmittedAt     string        `json:"submitted_at"`
 	StartedAt       string        `json:"started_at,omitempty"`
@@ -171,6 +179,8 @@ func (j *Job) view() View {
 		Verified:        j.verified,
 		FastPathHits:    j.fastPath,
 		ReconvergedHits: j.reconverged,
+		FullSimRuns:     j.fullSim,
+		ForkedRuns:      j.forked,
 		Error:           j.errMsg,
 		SubmittedAt:     rfc3339(j.submitted),
 		StartedAt:       rfc3339(j.started),
@@ -183,13 +193,17 @@ func (j *Job) snapshotEvent() Event {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return Event{
-		Type:    "snapshot",
-		Job:     j.ID,
-		Status:  j.status,
-		Done:    j.done,
-		Total:   j.total,
-		Resumed: j.resumed,
-		Error:   j.errMsg,
+		Type:         "snapshot",
+		Job:          j.ID,
+		Status:       j.status,
+		Done:         j.done,
+		Total:        j.total,
+		Resumed:      j.resumed,
+		FastPathHits: j.fastPath,
+		Reconverged:  j.reconverged,
+		FullSim:      j.fullSim,
+		Forked:       j.forked,
+		Error:        j.errMsg,
 	}
 }
 

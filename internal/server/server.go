@@ -442,7 +442,8 @@ func (s *Server) runJob(j *Job) {
 		j.finished = time.Now()
 		j.errMsg = err.Error()
 	}
-	final := Event{Type: "status", Job: j.ID, Status: j.status, Done: j.done, Total: j.total, Resumed: j.resumed, Error: j.errMsg}
+	final := Event{Type: "status", Job: j.ID, Status: j.status, Done: j.done, Total: j.total, Resumed: j.resumed,
+		FastPathHits: j.fastPath, Reconverged: j.reconverged, FullSim: j.fullSim, Forked: j.forked, Error: j.errMsg}
 	j.publishLocked(final)
 	j.closeHubLocked()
 	st := j.status
@@ -504,7 +505,7 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 		Progress: func(done, total int, st campaign.ShardRunStats) {
 			fps := s.reg.Gauge(campaign.MetricFaultsPerSec).Value()
 			ev := Event{Type: "progress", Job: j.ID, Status: StatusRunning, Done: done, Total: total,
-				FastPathHits: st.FastPathHits, Reconverged: st.Reconverged}
+				FastPathHits: st.FastPathHits, Reconverged: st.Reconverged, FullSim: st.FullSim}
 			if eta, ok := campaign.EstimateETA(total-done, fps); ok {
 				ev.FaultsPerSec = fps
 				ev.ETASeconds = eta.Seconds()
@@ -513,6 +514,7 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 			j.done = done
 			j.fastPath = st.FastPathHits
 			j.reconverged = st.Reconverged
+			j.fullSim = st.FullSim
 			ev.Resumed = j.resumed
 			j.publishLocked(ev)
 			j.mu.Unlock()
@@ -524,6 +526,8 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 		j.verified = stats.Verified
 		j.fastPath = stats.FastPathHits
 		j.reconverged = stats.Reconverged
+		j.fullSim = stats.FullSim
+		j.forked = stats.Forked
 		j.mu.Unlock()
 	}
 	if err != nil {

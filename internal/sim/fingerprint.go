@@ -53,6 +53,22 @@ func (ni *NI) foldState(h uint64) uint64 {
 func (n *Network) Fingerprint() uint64 {
 	h := statehash.Seed
 	h = statehash.Fold(h, uint64(n.cycle))
+	return n.foldBody(h)
+}
+
+// StaticFingerprint is Fingerprint without the cycle fold: two
+// consecutive cycle boundaries of the same network agree iff no mutable
+// state changed across the step. Every stamped queue in the simulator
+// (NI inboxes, credit links, router pipeline stages) carries at most
+// one cycle of lookahead, so two identical consecutive boundary states
+// are a fixed point — no future Step can ever change the state again.
+// Campaign fast-forward uses this to synthesize the remainder of a
+// deadlocked drain or an idle ForEVeR horizon instead of stepping it.
+func (n *Network) StaticFingerprint() uint64 {
+	return n.foldBody(statehash.Seed)
+}
+
+func (n *Network) foldBody(h uint64) uint64 {
 	h = statehash.Fold(h, n.nextPkt)
 	h = statehash.FoldBool(h, n.injecting)
 	h = statehash.Fold(h, uint64(n.flitsInjected))

@@ -35,3 +35,52 @@ func BenchmarkStepOnly4x4(b *testing.B)   { benchStep(b, 4, 4, 0.12, false) }
 func BenchmarkStepPlusFP4x4(b *testing.B) { benchStep(b, 4, 4, 0.12, true) }
 func BenchmarkStepOnly8x8(b *testing.B)   { benchStep(b, 8, 8, 0.05, false) }
 func BenchmarkStepPlusFP8x8(b *testing.B) { benchStep(b, 8, 8, 0.05, true) }
+
+// BenchmarkGoldenSnapshot measures the cost of capturing one golden
+// ring entry: a full-state CloneInto of a warmed network into a fresh
+// arena — the per-snapshot price the campaign pays during its single
+// golden mainline run.
+func benchGoldenSnapshot(b *testing.B, w, h int, rate float64) {
+	mesh := topology.NewMesh(w, h)
+	n, err := New(Config{Router: router.Default(mesh), InjectionRate: rate, Seed: 3}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for n.Cycle() < 300 {
+		n.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.CloneInto(nil, nil)
+	}
+}
+
+func BenchmarkGoldenSnapshot4x4(b *testing.B) { benchGoldenSnapshot(b, 4, 4, 0.12) }
+func BenchmarkGoldenSnapshot8x8(b *testing.B) { benchGoldenSnapshot(b, 8, 8, 0.05) }
+
+// BenchmarkForkedRun measures restoring a snapshot into a reusable
+// worker arena and replaying a short gap — the whole warm-start price
+// of one forked faulty run, to set against the snapshot.cycle stepped
+// cycles it skips.
+func benchForkedRun(b *testing.B, w, h int, rate float64, replay int64) {
+	mesh := topology.NewMesh(w, h)
+	n, err := New(Config{Router: router.Default(mesh), InjectionRate: rate, Seed: 3}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for n.Cycle() < 300 {
+		n.Step()
+	}
+	snap := n.CloneInto(nil, nil)
+	var arena *Network
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena = snap.CloneInto(arena, nil)
+		for c := snap.Cycle() + replay; arena.Cycle() < c; {
+			arena.Step()
+		}
+	}
+}
+
+func BenchmarkForkedRun4x4(b *testing.B) { benchForkedRun(b, 4, 4, 0.12, 8) }
+func BenchmarkForkedRun8x8(b *testing.B) { benchForkedRun(b, 8, 8, 0.05, 8) }

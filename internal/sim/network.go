@@ -356,6 +356,55 @@ func (n *Network) allNIsIdle() bool {
 	return true
 }
 
+// Quiet reports whether the fabric is empty and every NI is idle — the
+// condition Drain polls for. Exposed so campaign loops that interleave
+// their own per-cycle probes with the drain can reproduce Drain's exit
+// condition exactly.
+func (n *Network) Quiet() bool {
+	return n.InFlight() <= 0 && n.allNIsIdle()
+}
+
+// SetPlane swaps the fault plane on this network and all its routers
+// (used when a campaign fork replays a fault-free gap before arming the
+// run's faults). The monotone plane caches are reset so the new plane's
+// liveness is re-evaluated from the current cycle. Only meaningful at a
+// cycle boundary, like Clone.
+func (n *Network) SetPlane(p *fault.Plane) {
+	n.plane = p
+	n.planeInert = false
+	n.planeQuiescent = false
+	for _, r := range n.routers {
+		r.SetPlane(p)
+	}
+}
+
+// ResetEjections truncates the ejection log without touching the
+// flit-ejected counter. Campaign forks that replay a fault-free gap
+// call this at the injection cycle so the log — like a fresh CloneInto
+// product's — holds post-injection ejections only, while the counters
+// keep their absolute values for fingerprint comparisons.
+func (n *Network) ResetEjections() {
+	n.ejections = n.ejections[:0]
+}
+
+// ApproxFootprintBytes estimates the memory one full-state snapshot of
+// this network retains: flit-slot capacity for every router buffer plus
+// per-router and per-NI bookkeeping. It is a deterministic,
+// configuration-derived capacity estimate (what the snapshot ring
+// accounts against campaign_snapshot_bytes), not a heap measurement.
+func (n *Network) ApproxFootprintBytes() int64 {
+	const (
+		flitBytes   = 96  // flit.Flit plus arena/slice overhead
+		routerFixed = 640 // pipeline registers, arbiters, signal scratch
+		niFixed     = 256 // credit bookkeeping, RNG, queue headers
+	)
+	nodes := int64(len(n.routers))
+	slots := int64(router.P) * int64(n.rcfg.VCs) * int64(n.rcfg.BufDepth)
+	perRouter := slots*flitBytes + routerFixed
+	perNI := int64(n.rcfg.VCs)*32 + niFixed
+	return nodes * (perRouter + perNI)
+}
+
 // FaultsInert reports whether the attached fault plane can no longer
 // influence this network from the current cycle onward — every fault
 // window has closed without corrupting a consulted signal (see

@@ -487,6 +487,12 @@ const (
 	MetricCampaignReconvergenceHits   = campaign.MetricReconvergenceHits
 	MetricCampaignFullSimRuns         = campaign.MetricFullSimRuns
 	MetricCampaignReconvergenceCycles = campaign.MetricReconvergenceCycles
+	MetricCampaignForkedRuns          = campaign.MetricForkedRuns
+	MetricCampaignWarmstartSaved      = campaign.MetricWarmstartSaved
+	MetricCampaignSnapshotBytes       = campaign.MetricSnapshotBytes
+	MetricCampaignSimulatedCycles     = campaign.MetricSimulatedCycles
+	MetricCampaignSynthesizedCycles   = campaign.MetricSynthesizedCycles
+	MetricCampaignSimCyclesPerSec     = campaign.MetricSimCyclesPerSec
 )
 
 // CampaignETA converts a live faults/sec reading into the expected
