@@ -55,7 +55,7 @@ test: vet
 # minutes race-enabled.
 race:
 	$(GO) test -race ./internal/campaign ./internal/sim ./internal/metrics \
-		./internal/trace ./internal/server
+		./internal/trace ./internal/server ./internal/obs
 
 # cover enforces the coverage floor over ./internal/... and leaves the
 # profile in cover.out for inspection (`go tool cover -html=cover.out`).
@@ -75,9 +75,11 @@ e2e:
 # Campaign throughput baseline (faults/sec, ns/fault, allocs/fault),
 # plus timestamped records appended to BENCH_4x4.json so the perf
 # trajectory accumulates across revisions (the file is created on
-# first run — a fresh clone works): one serial row ("campaign") and one
-# with the worker pool at GOMAXPROCS ("campaign-parallel"). Format: see
-# EXPERIMENTS.md.
+# first run — a fresh clone works): one serial row ("campaign"), one
+# with the worker pool at GOMAXPROCS ("campaign-parallel"), and one
+# serial row with span tracing and the flight recorder armed
+# ("campaign-traced") — the committed evidence that observability costs
+# <5% throughput. Format: see EXPERIMENTS.md.
 BENCH_FLAGS = -mesh 4x4 -rate 0.12 -inject 300 -post 400 \
 	-drain 5000 -epoch 400 -faults 160 -seed 3 -fig none -progress=false
 
@@ -93,6 +95,10 @@ bench:
 		-benchjson BENCH_4x4.json
 	$(GO) run ./cmd/faultcampaign $(BENCH_FLAGS) -workers 0 \
 		-benchname campaign-parallel -benchjson BENCH_4x4.json
+	$(GO) run ./cmd/faultcampaign $(BENCH_FLAGS) -workers 1 \
+		-trace-spans .bench-spans.ndjson -flight-recorder .bench-flight.ndjson \
+		-benchname campaign-traced -benchjson BENCH_4x4.json
+	rm -f .bench-spans.ndjson .bench-flight.ndjson
 	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -workers 1 \
 		-benchname campaign-8x8 -benchjson BENCH_8x8.json
 

@@ -73,8 +73,12 @@ func main() {
 		snapInt   = flag.Int64("snapshot-interval", 0, "golden snapshot spacing in cycles (0 = adaptive from the universe's injection-cycle histogram)")
 		noFF      = flag.Bool("no-fastforward", false, "disable frozen-state fast-forwarding of deadlocked drains and idle ForEVeR horizons")
 		progress  = flag.Bool("progress", true, "print campaign progress to stderr")
-		telAddr   = flag.String("telemetry", "", "serve live telemetry on this address (pprof at /debug/pprof/, expvar at /debug/vars, metrics at /metricsz)")
+		telAddr   = flag.String("telemetry", "", "serve live telemetry on this address (pprof at /debug/pprof/, expvar at /debug/vars, metrics at /metricsz, OpenMetrics at /metrics)")
 		traceOut  = flag.String("trace", "", "stream one NDJSON record per completed fault run to this file")
+		spanOut   = flag.String("trace-spans", "", "stream campaign/run/phase spans as NDJSON to this file")
+		otlpOut   = flag.String("spans-otlp", "", "write the completed spans as an OTLP/JSON dump to this file (implies span retention)")
+		spanN     = flag.Int("span-sample", 1, "record every Nth run's spans (campaign-level spans are always recorded)")
+		frOut     = flag.String("flight-recorder", "", "record recent campaign events in a bounded ring, dumped to this file on anomalies and at campaign end")
 		shardStr  = flag.String("shard", "", "run only shard i/N of the campaign (0-based, e.g. 0/4) against a resumable checkpoint; requires -checkpoint")
 		ckptPath  = flag.String("checkpoint", "", "shard checkpoint file (NDJSON); an existing one is resumed, a finished one is a no-op")
 		verifyN   = flag.Int("verify-resumed", 0, "recorded runs to re-execute and compare when resuming a checkpoint (0 = default sample, -1 = none)")
@@ -128,7 +132,73 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("telemetry: http://%s/metricsz (pprof /debug/pprof/, expvar /debug/vars)\n", addr)
+		fmt.Printf("telemetry: http://%s/metricsz (OpenMetrics /metrics, pprof /debug/pprof/, expvar /debug/vars)\n", addr)
+	}
+
+	// Span tracing and the anomaly flight recorder: both are
+	// result-invisible (the traced report is byte-identical) and both
+	// work in shard mode too, so they are wired before the mode split.
+	var tracer *nocalert.Tracer
+	var spanFile *os.File
+	if *spanOut != "" || *otlpOut != "" {
+		topts := nocalert.TracerOptions{SampleEvery: *spanN, Retain: *otlpOut != "", Service: "faultcampaign", Metrics: reg}
+		if *spanOut != "" {
+			spanFile, err = os.Create(*spanOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			topts.Writer = spanFile
+		}
+		tracer = nocalert.NewTracer(topts)
+	}
+	var flightRec *nocalert.FlightRecorder
+	var frFile *os.File
+	if *frOut != "" {
+		frFile, err = os.Create(*frOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		flightRec = nocalert.NewFlightRecorder(0, frFile)
+	}
+	// closeObs finishes the observability sinks after the campaign (or
+	// shard) completes: flush and close the span stream, render the OTLP
+	// dump from the retained spans, and dump the flight-recorder ring one
+	// final time so the file explains the run even without anomalies.
+	closeObs := func() {
+		if flightRec != nil {
+			flightRec.Dump("campaign end")
+			if err := flightRec.Err(); err != nil {
+				log.Fatalf("flight-recorder: %v", err)
+			}
+			if err := frFile.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if tracer == nil {
+			return
+		}
+		if err := tracer.Close(); err != nil {
+			log.Fatalf("trace-spans: %v", err)
+		}
+		if spanFile != nil {
+			if err := spanFile.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("span stream: %d spans (trace %s) written to %s\n", tracer.Spans(), tracer.TraceID(), *spanOut)
+		}
+		if *otlpOut != "" {
+			f, err := os.Create(*otlpOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tracer.WriteOTLP(f); err != nil {
+				log.Fatalf("spans-otlp: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("OTLP span dump written to %s\n", *otlpOut)
+		}
 	}
 
 	if *shardStr != "" {
@@ -160,10 +230,13 @@ func main() {
 			SnapshotInterval:     *snapInt,
 			DisableFastForward:   *noFF,
 			VerifyResumed:        *verifyN,
+			Tracer:               tracer,
+			FlightRecorder:       flightRec,
 		}
 		if err := runShardMode(ctx, spec, *shardStr, *ckptPath, sro, *progress, reg); err != nil {
 			log.Fatal(err)
 		}
+		closeObs()
 		return
 	}
 	if *ckptPath != "" {
@@ -210,6 +283,8 @@ func main() {
 		Metrics:              reg,
 		OnResult:             onResult,
 		Context:              ctx,
+		Tracer:               tracer,
+		FlightRecorder:       flightRec,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -223,6 +298,7 @@ func main() {
 		}
 		fmt.Printf("run trace: %d NDJSON records written to %s\n", tw.Records(), *traceOut)
 	}
+	closeObs()
 	wall := time.Since(start)
 	fmt.Printf("campaign: %d runs in %v; %d faults fired, %d caused network-correctness violations, %d fast-path exits, %d reconverged, %d forked (%d prefix cycles skipped, %d synthesized)\n\n",
 		len(rep.Results), wall.Round(time.Millisecond), rep.FiredCount(), rep.MaliciousCount(), rep.FastPathHits, rep.ReconvergedHits,
@@ -336,10 +412,11 @@ func obs3(simCfg nocalert.SimConfig, params nocalert.FaultParams, inject, post, 
 }
 
 // serveTelemetry starts the live-profiling HTTP server: /metricsz
-// (JSON registry snapshot; ?format=text for the plain rendering) plus
-// whatever the expvar and net/http/pprof imports registered on the
-// default mux. It returns the bound address ("localhost:0" picks a
-// port).
+// (JSON registry snapshot; ?format=text for the plain rendering),
+// /metrics (the OpenMetrics/Prometheus exposition standard scrapers
+// consume) plus whatever the expvar and net/http/pprof imports
+// registered on the default mux. It returns the bound address
+// ("localhost:0" picks a port).
 func serveTelemetry(addr string, reg *nocalert.MetricsRegistry) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -353,6 +430,10 @@ func serveTelemetry(addr string, reg *nocalert.MetricsRegistry) (string, error) 
 		}
 		w.Header().Set("Content-Type", "application/json")
 		reg.WriteJSON(w)
+	})
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", nocalert.OpenMetricsContentType)
+		reg.WriteOpenMetrics(w)
 	})
 	go func() {
 		if err := http.Serve(ln, nil); err != nil {

@@ -90,6 +90,7 @@ func mergeMain(args []string) {
 		out        = fs.String("out", "", "write the merged aggregated report as JSON to this file")
 		goldenPath = fs.String("golden", "", "compare the merged records against this committed fixture; exit non-zero on drift")
 		figs       = fs.String("fig", "all", "figures to print: comma list of 6,7,8,9,obs5 or 'all' or 'none'")
+		frPath     = fs.String("flight-recorder", "", "record per-shard manifest events to this file, with an anomaly dump on merge or golden divergence")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: faultcampaign merge [flags] shard0.ndjson shard1.ndjson ...")
@@ -102,16 +103,43 @@ func mergeMain(args []string) {
 		os.Exit(2)
 	}
 
+	var fr *nocalert.FlightRecorder
+	if *frPath != "" {
+		f, err := os.Create(*frPath)
+		if err != nil {
+			log.Fatalf("merge: flight-recorder: %v", err)
+		}
+		defer f.Close()
+		fr = nocalert.NewFlightRecorder(0, f)
+		// The deferred final dump leaves the shard manifests on disk even
+		// on the happy path, so a merge is explainable after the fact.
+		defer fr.Dump("merge end")
+	}
+
 	var shards []*nocalert.CheckpointData
 	for _, p := range paths {
 		cd, err := nocalert.ReadCheckpointFile(p)
 		if err != nil {
+			fr.Anomaly("merge divergence", nocalert.FlightEvent{
+				Kind: "shard_manifest", Detail: fmt.Sprintf("%s: %v", p, err)})
 			log.Fatalf("merge: %s: %v", p, err)
 		}
+		fr.Record(nocalert.FlightEvent{
+			Kind:   "shard_manifest",
+			Run:    cd.Manifest.Shard,
+			Detail: p,
+			Attrs: map[string]any{
+				"shards":  cd.Manifest.Shards,
+				"start":   cd.Manifest.Start,
+				"end":     cd.Manifest.End,
+				"records": len(cd.Records),
+			},
+		})
 		shards = append(shards, cd)
 	}
 	merged, err := nocalert.MergeCampaignShards(shards)
 	if err != nil {
+		fr.Anomaly("merge divergence", nocalert.FlightEvent{Kind: "shard_manifest", Detail: err.Error()})
 		log.Fatalf("merge: %v", err)
 	}
 	fmt.Printf("merged %d shards: %d records, checksum %s\n\n",
@@ -151,6 +179,8 @@ func mergeMain(args []string) {
 			for _, d := range diffs {
 				fmt.Fprintln(os.Stderr, d)
 			}
+			fr.Anomaly("merge divergence from golden fixture", nocalert.FlightEvent{
+				Kind: "shard_manifest", Detail: fmt.Sprintf("%s: %d diff(s), first: %s", *goldenPath, len(diffs), diffs[0])})
 			log.Fatalf("merge: merged output diverges from golden fixture %s (%d diff(s))", *goldenPath, len(diffs))
 		}
 		fmt.Printf("golden check: merged records are bit-identical to %s\n", *goldenPath)

@@ -24,7 +24,14 @@
 //	                            Accept: text/event-stream)
 //	GET    /v1/jobs/{id}/report final aggregated report
 //	DELETE /v1/jobs/{id}        cancel
+//	GET    /metrics             OpenMetrics/Prometheus exposition
 //	GET    /healthz /metricsz /debug/pprof/ /debug/vars
+//
+// Observability: job transitions log through log/slog (text by
+// default, `-log-json` for machine-readable records), every record
+// carrying the job ID. `-trace-spans` streams the job → shard → run
+// span hierarchy as NDJSON, `-flight-recorder` arms the anomaly black
+// box, and /metrics serves the whole registry to standard scrapers.
 //
 // SIGTERM/SIGINT drain gracefully: the listener closes, running
 // campaigns stop after their in-flight faults (every completed run is
@@ -37,7 +44,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -45,12 +52,12 @@ import (
 	"syscall"
 	"time"
 
+	"nocalert/internal/metrics"
+	"nocalert/internal/obs"
 	"nocalert/internal/server"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("nocalertd: ")
 	var (
 		addr     = flag.String("addr", "localhost:8377", "HTTP listen address (host:0 picks a free port)")
 		dir      = flag.String("dir", "nocalertd-state", "state directory: job manifests, checkpoints and reports")
@@ -59,8 +66,46 @@ func main() {
 		workers  = flag.Int("workers", 0, "per-campaign worker pool size (0 = GOMAXPROCS)")
 		verifyN  = flag.Int("verify-resumed", 0, "recorded runs to re-execute and compare when resuming a checkpoint (0 = default sample, -1 = none)")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight runs before giving up")
+		logJSON  = flag.Bool("log-json", false, "emit log records as JSON instead of text")
+		spanFile = flag.String("trace-spans", "", "stream job/shard/run/phase spans as NDJSON to this file")
+		spanN    = flag.Int("span-sample", 1, "sample every Nth run span (campaign-level spans always recorded)")
+		frFile   = flag.String("flight-recorder", "", "arm the anomaly flight recorder, dumping its ring to this file")
 	)
 	flag.Parse()
+
+	var h slog.Handler
+	if *logJSON {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(h).With("service", "nocalertd")
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(1)
+	}
+
+	reg := metrics.NewRegistry()
+	var tracer *obs.Tracer
+	if *spanFile != "" {
+		f, err := os.Create(*spanFile)
+		if err != nil {
+			fatal("trace-spans open", err)
+		}
+		defer f.Close()
+		tracer = obs.New(obs.Options{Writer: f, SampleEvery: *spanN, Service: "nocalertd", Metrics: reg})
+		defer tracer.Close()
+		logger = logger.With("trace_id", tracer.TraceID())
+	}
+	var fr *obs.FlightRecorder
+	if *frFile != "" {
+		f, err := os.Create(*frFile)
+		if err != nil {
+			fatal("flight-recorder open", err)
+		}
+		defer f.Close()
+		fr = obs.NewFlightRecorder(0, f)
+	}
 
 	srv, err := server.New(server.Config{
 		Dir:             *dir,
@@ -68,15 +113,18 @@ func main() {
 		Concurrency:     *jobs,
 		CampaignWorkers: *workers,
 		VerifyResumed:   *verifyN,
-		Logf:            log.Printf,
+		Registry:        reg,
+		Logger:          logger,
+		Tracer:          tracer,
+		FlightRecorder:  fr,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("startup", err)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen", err)
 	}
 	hs := &http.Server{
 		Handler:           srv.Handler(),
@@ -93,27 +141,27 @@ func main() {
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigs:
-		log.Printf("%v: draining (in-flight runs finish, checkpoints stay resumable; again to force exit)", sig)
+		logger.Info("draining (in-flight runs finish, checkpoints stay resumable; again to force exit)", "signal", sig.String())
 	case err := <-serveErr:
-		log.Fatalf("serve: %v", err)
+		fatal("serve", err)
 	}
 
 	go func() {
 		<-sigs
-		log.Print("second signal: exiting now (checkpoints are append-only and survive this too)")
+		logger.Warn("second signal: exiting now (checkpoints are append-only and survive this too)")
 		os.Exit(1)
 	}()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown", "error", err)
 	}
 	if err := srv.Stop(ctx); err != nil {
-		log.Printf("%v", err)
+		logger.Error("drain", "error", err)
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("serve: %v", err)
+		logger.Error("serve", "error", err)
 	}
-	log.Print("drained; state is resumable on next start")
+	logger.Info("drained; state is resumable on next start")
 }

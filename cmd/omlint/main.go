@@ -1,0 +1,56 @@
+// Command omlint validates an OpenMetrics text exposition — the format
+// nocalertd and `faultcampaign -telemetry` serve at /metrics — against
+// the subset of the OpenMetrics 1.0 spec the exporter emits: metric
+// name and label syntax, family/TYPE interleaving, sample-suffix
+// membership per type, cumulative histogram buckets with a +Inf bound,
+// counter monotonicity and the terminal `# EOF` marker.
+//
+// Usage:
+//
+//	curl -s http://localhost:8377/metrics | omlint
+//	omlint scrape.txt
+//
+// Exit status 0 when the exposition is clean; 1 with the first
+// violation on stderr otherwise. CI scrapes a live daemon through this
+// to keep /metrics consumable by standard Prometheus scrapers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nocalert/internal/metrics"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: omlint [file]  (reads stdin without a file argument)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omlint: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+
+	st, err := metrics.ValidateOpenMetrics(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omlint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("omlint: %s: OK (%d metric families, %d samples)\n", name, st.Families, st.Samples)
+}

@@ -28,6 +28,7 @@ import (
 	"nocalert/internal/forever"
 	"nocalert/internal/golden"
 	"nocalert/internal/metrics"
+	"nocalert/internal/obs"
 	"nocalert/internal/rng"
 	"nocalert/internal/sim"
 )
@@ -197,6 +198,24 @@ type Options struct {
 	// runs start after it is done and Run returns its error. Runs
 	// already in flight complete first.
 	Context context.Context
+	// Tracer, when non-nil, emits hierarchical spans — campaign →
+	// run → phase (warm-start, fault-armed, drain, horizon, and the
+	// reconverged/fast-forwarded tails) — carrying the cycle-accurate
+	// accounting runStats tracks. Run spans honor the tracer's sampling
+	// rate; the campaign span and golden-warmup phase never sample out.
+	// Tracing never touches RunResult or the report: serialized reports
+	// are byte-identical with tracing on or off (test-enforced).
+	Tracer *obs.Tracer
+	// TraceParent optionally parents the campaign span (the daemon's
+	// job span, or a shard span), threading one correlation ID from a
+	// nocalertd job down to every run it executes.
+	TraceParent *obs.Span
+	// FlightRecorder, when non-nil, receives cycle-stamped events from
+	// the engine's trust boundaries (fork verifications, reconvergence
+	// fingerprint probes, detections, fast-forward freezes) and
+	// auto-dumps its ring on anomalies: a fork-verify mismatch or a
+	// missed-detection (FN) verdict.
+	FlightRecorder *obs.FlightRecorder
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -364,6 +383,11 @@ func Run(opts Options) (*Report, error) {
 	}
 	sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
 
+	// Campaign span: the root of this process's span hierarchy unless a
+	// job or shard span parents it. All span plumbing is nil-safe, so
+	// the tracing-off path below is the old code plus dead branches.
+	camp := o.Tracer.Start(o.TraceParent, "campaign", "campaign")
+
 	// Golden mainline: one fault-free run stepped once from cycle 0 to
 	// the last injection cycle, capturing the snapshot ring along the
 	// way and spawning one golden continuation per injection cycle.
@@ -371,6 +395,7 @@ func Run(opts Options) (*Report, error) {
 	ring := &snapshotRing{}
 	mainline, err := sim.New(o.Sim, nil)
 	if err != nil {
+		camp.End()
 		return nil, err
 	}
 	if !o.DisableForever {
@@ -380,6 +405,7 @@ func Run(opts Options) (*Report, error) {
 	gcOf := make(map[int64]*groupCtx, len(cycles))
 	next := 0 // next snapshot plan entry
 	var tw worker
+	warm := camp.Child("phase", "golden-warmup")
 	for ci, c := range cycles {
 		for {
 			if next < len(plan) && mainline.Cycle() == plan[next] {
@@ -393,10 +419,17 @@ func Run(opts Options) (*Report, error) {
 		}
 		gc, err := buildGroupCtx(mainline, ring, &tw, o, c, ci == len(cycles)-1, wantReconv)
 		if err != nil {
+			warm.End()
+			camp.End()
 			return nil, err
 		}
 		gcOf[c] = gc
 	}
+	warm.SetAttr("injection_cycles", len(cycles))
+	warm.SetAttr("snapshots", len(ring.snaps))
+	warm.SetAttr("snapshot_bytes", ring.bytes)
+	warm.SetAttr("golden_cycle", mainline.Cycle())
+	warm.End()
 
 	first := gcOf[cycles[0]]
 	report := &Report{
@@ -448,12 +481,20 @@ func Run(opts Options) (*Report, error) {
 				if needTiming {
 					runStart = time.Now()
 				}
-				res, exit, convCycles, st, err := runOne(&wk, gcOf[o.FaultGroups[i][0].Cycle], o, o.FaultGroups[i])
+				var ro *runObs
+				if o.Tracer != nil || o.FlightRecorder != nil {
+					ro = &runObs{fr: o.FlightRecorder, idx: i}
+					if o.Tracer.Sampled(i) {
+						ro.span = camp.Child("run", fmt.Sprintf("run[%d]", i))
+					}
+				}
+				res, exit, convCycles, st, err := runOne(&wk, gcOf[o.FaultGroups[i][0].Cycle], o, o.FaultGroups[i], ro)
 				var wall time.Duration
 				if needTiming {
 					wall = time.Since(runStart)
 				}
 				if err != nil {
+					ro.fail(err)
 					progMu.Lock()
 					if runErr == nil {
 						runErr = err
@@ -461,6 +502,7 @@ func Run(opts Options) (*Report, error) {
 					progMu.Unlock()
 					continue
 				}
+				ro.finish(&res, exit, convCycles, &st, o.FaultGroups[i][0].Cycle)
 				report.Results[i] = res
 				progMu.Lock()
 				done++
@@ -513,12 +555,16 @@ feed:
 	close(jobs)
 	wg.Wait()
 	if ctxErr != nil {
+		camp.SetAttr("error", ctxErr.Error())
+		camp.End()
 		return nil, ctxErr
 	}
 	progMu.Lock()
 	err = runErr
 	progMu.Unlock()
 	if err != nil {
+		camp.SetAttr("error", err.Error())
+		camp.End()
 		return nil, err
 	}
 	report.FastPathHits = fastHits
@@ -527,6 +573,14 @@ feed:
 	report.SimulatedCycles = simCycles
 	report.WarmstartCyclesSaved = warmSaved
 	report.SynthesizedCycles = synthSaved
+	camp.SetAttr("runs", total)
+	camp.SetAttr("fastpath_hits", fastHits)
+	camp.SetAttr("reconverged_hits", reconvHits)
+	camp.SetAttr("forked_runs", forkedRuns)
+	camp.SetAttr("cycles_simulated", simCycles)
+	camp.SetAttr("cycles_synthesized", synthSaved)
+	camp.SetAttr("warmstart_cycles_saved", warmSaved)
+	camp.End()
 	return report, nil
 }
 
@@ -588,7 +642,14 @@ func buildGroupCtx(mainline *sim.Network, ring *snapshotRing, tw *worker, o Opti
 	// before any faulty run trusts it.
 	if !o.DisableFastPath {
 		var st runStats
-		tmpl, err := runSlow(tw, gc, o, nil, &st)
+		// The template run carries the flight recorder (its fork
+		// verification guards every fast-path result at this cycle) but
+		// no span: index -1 is never sampled.
+		var tro *runObs
+		if o.FlightRecorder != nil {
+			tro = &runObs{fr: o.FlightRecorder, idx: -1}
+		}
+		tmpl, err := runSlow(tw, gc, o, nil, &st, tro)
 		if err != nil {
 			return nil, err
 		}
@@ -679,16 +740,21 @@ const reconvBackoffCap = 16
 // (ExitReconverged) instead of simulated. convCycles is the
 // reconvergence latency (cycles after injection); zero for the other
 // exit paths.
-func runOne(w *worker, gc *groupCtx, o Options, group []fault.Fault) (res RunResult, exit ExitPath, convCycles int64, st runStats, err error) {
+func runOne(w *worker, gc *groupCtx, o Options, group []fault.Fault, ro *runObs) (res RunResult, exit ExitPath, convCycles int64, st runStats, err error) {
 	if o.DisableFastPath {
-		res, err = runSlow(w, gc, o, group, &st)
+		res, err = runSlow(w, gc, o, group, &st, ro)
 		return res, ExitFull, 0, st, err
 	}
 	plane := fault.NewPlane(group...)
-	n, err := w.fork(gc, plane, &st)
+	ws := ro.phase("warm-start")
+	n, err := w.fork(gc, plane, &st, ro)
 	if err != nil {
+		ws.End()
 		return res, ExitFull, 0, st, err
 	}
+	ws.SetAttr("fork_cycle", gc.snap.cycle)
+	ws.SetAttr("replayed_cycles", gc.cycle-gc.snap.cycle)
+	ws.End()
 	eng := core.NewEngine(n.RouterConfig(), core.Options{Disabled: o.CheckersDisabled})
 	n.AttachMonitor(eng)
 	fv := findForever(n)
@@ -696,6 +762,7 @@ func runOne(w *worker, gc *groupCtx, o Options, group []fault.Fault) (res RunRes
 		fv.ClearDetections()
 	}
 	rc := gc.rc
+	fa := ro.phase("fault-armed")
 	var nextTry int64 // earliest cycle for the next full fingerprint
 	gap := int64(1)
 	for t := int64(0); t < o.PostInjectRun; t++ {
@@ -705,6 +772,8 @@ func runOne(w *worker, gc *groupCtx, o Options, group []fault.Fault) (res RunRes
 			res.Fault = group[0]
 			res.Group = group
 			st.simulated = n.Cycle() - gc.snap.cycle
+			st.horizon = n.Cycle()
+			fa.End()
 			return res, ExitFastPath, 0, st, nil
 		}
 		if rc == nil || !n.FaultsQuiescent() || n.Cycle() < nextTry {
@@ -716,20 +785,29 @@ func runOne(w *worker, gc *groupCtx, o Options, group []fault.Fault) (res RunRes
 		}
 		if n.Fingerprint() == pt.State &&
 			golden.EjectionsHash(n.Ejections()) == pt.EjectHash {
+			ro.event("fp_probe", n.Cycle(), "match", nil)
 			st.simulated = n.Cycle() - gc.snap.cycle
 			st.synthesized += gc.cycle + o.PostInjectRun - n.Cycle()
+			st.horizon = gc.cycle + o.PostInjectRun
+			fa.End()
+			rt := ro.phase("reconverged-tail")
+			rt.SetAttr("reconverged_cycle", n.Cycle())
+			rt.SetAttr("cycles_synthesized", gc.cycle+o.PostInjectRun-n.Cycle())
+			rt.End()
 			return synthesizeReconverged(n, eng, fv, rc, plane, gc.cycle, group),
 				ExitReconverged, n.Cycle() - gc.cycle, st, nil
 		}
 		// Counters agreed but state did not (the perturbation is
 		// still washing out, or the run diverged for good with
 		// conserved flit counts): back off before hashing again.
+		ro.event("fp_probe", n.Cycle(), "state mismatch", nil)
 		if gap < reconvBackoffCap {
 			gap *= 2
 		}
 		nextTry = n.Cycle() + gap
 	}
-	res = finishRun(n, eng, fv, plane, gc, o, group, w, &st)
+	fa.End()
+	res = finishRun(n, eng, fv, plane, gc, o, group, w, &st, ro)
 	st.simulated = n.Cycle() - gc.snap.cycle
 	return res, ExitFull, 0, st, nil
 }
@@ -825,20 +903,27 @@ func synthesizeReconverged(n *sim.Network, eng *core.Engine, fv *forever.Monitor
 // runSlow executes one run end to end with no early exit. A nil group
 // runs with an empty fault plane (used to compute the fast-path
 // template).
-func runSlow(w *worker, gc *groupCtx, o Options, group []fault.Fault, st *runStats) (RunResult, error) {
+func runSlow(w *worker, gc *groupCtx, o Options, group []fault.Fault, st *runStats, ro *runObs) (RunResult, error) {
 	plane := fault.NewPlane(group...)
-	n, err := w.fork(gc, plane, st)
+	ws := ro.phase("warm-start")
+	n, err := w.fork(gc, plane, st, ro)
 	if err != nil {
+		ws.End()
 		return RunResult{}, err
 	}
+	ws.SetAttr("fork_cycle", gc.snap.cycle)
+	ws.SetAttr("replayed_cycles", gc.cycle-gc.snap.cycle)
+	ws.End()
 	eng := core.NewEngine(n.RouterConfig(), core.Options{Disabled: o.CheckersDisabled})
 	n.AttachMonitor(eng)
 	fv := findForever(n)
 	if fv != nil {
 		fv.ClearDetections()
 	}
+	fa := ro.phase("fault-armed")
 	n.Run(o.PostInjectRun)
-	res := finishRun(n, eng, fv, plane, gc, o, group, w, st)
+	fa.End()
+	res := finishRun(n, eng, fv, plane, gc, o, group, w, st, ro)
 	st.simulated = n.Cycle() - gc.snap.cycle
 	return res, nil
 }
@@ -860,20 +945,27 @@ func runSlow(w *worker, gc *groupCtx, o Options, group []fault.Fault, st *runSta
 // NoCAlert accumulators (the steady assertion pattern, replayed via
 // ffProbe.extend — a deadlocked router that keeps asserting still
 // freezes, it just fast-forwards its assertions along with its state).
-func finishRun(n *sim.Network, eng *core.Engine, fv *forever.Monitor, plane *fault.Plane, gc *groupCtx, o Options, group []fault.Fault, w *worker, st *runStats) RunResult {
+func finishRun(n *sim.Network, eng *core.Engine, fv *forever.Monitor, plane *fault.Plane, gc *groupCtx, o Options, group []fault.Fault, w *worker, st *runStats, ro *runObs) RunResult {
 	var drained, frozen bool
 	projectUntil := int64(-1)
 	if o.DisableFastForward {
+		dr := ro.phase("drain")
 		drained = n.Drain(o.DrainDeadline)
+		dr.SetAttr("drained", drained)
+		dr.End()
 		if fv != nil || !drained {
+			hz := ro.phase("horizon")
 			horizon := foreverHorizon(n.Cycle(), o.Forever)
 			for n.Cycle() < horizon {
 				n.Step()
 			}
+			hz.SetAttr("horizon_cycle", horizon)
+			hz.End()
 		}
 	} else {
 		var probe ffProbe
 		n.StopInjection()
+		dr := ro.phase("drain")
 		drainEnd := n.Cycle() + o.DrainDeadline
 		for n.Cycle() < drainEnd {
 			if n.Quiet() {
@@ -889,6 +981,12 @@ func finishRun(n *sim.Network, eng *core.Engine, fv *forever.Monitor, plane *fau
 		if !drained && !frozen {
 			drained = n.Quiet()
 		}
+		if frozen {
+			ro.event("ff_freeze", n.Cycle(), "frozen in drain", nil)
+		}
+		dr.SetAttr("drained", drained)
+		dr.SetAttr("frozen", frozen)
+		dr.End()
 		logical := n.Cycle()
 		if frozen {
 			// A frozen, non-quiet network would have stepped unchanged
@@ -897,11 +995,13 @@ func finishRun(n *sim.Network, eng *core.Engine, fv *forever.Monitor, plane *fau
 			logical = drainEnd
 		}
 		if fv != nil || !drained {
+			hz := ro.phase("horizon")
 			horizon := foreverHorizon(logical, o.Forever)
 			if !frozen {
 				for n.Cycle() < horizon {
 					if probe.frozen(n, eng, fv) {
 						frozen = true
+						ro.event("ff_freeze", n.Cycle(), "frozen in horizon", nil)
 						break
 					}
 					n.Step()
@@ -911,13 +1011,31 @@ func finishRun(n *sim.Network, eng *core.Engine, fv *forever.Monitor, plane *fau
 				st.synthesized += horizon - max64(n.Cycle(), logical)
 				projectUntil = horizon
 			}
+			hz.SetAttr("horizon_cycle", horizon)
+			hz.SetAttr("frozen", frozen)
+			hz.End()
 		}
 		if frozen {
 			// The frozen state re-emits its assertion pattern on every
 			// synthesized cycle; fold all of them into the engine so the
 			// accumulators match a full simulation to the horizon.
 			probe.extend(eng, projectUntil-n.Cycle())
+			ff := ro.phase("fast-forward")
+			ff.SetAttr("frozen_cycle", n.Cycle())
+			ff.SetAttr("project_until", projectUntil)
+			ff.SetAttr("cycles_synthesized", st.synthesized)
+			ff.End()
 		}
+	}
+	// The logical end cycle this run's accounting covers: with a frozen
+	// fast-forward the synthesized remainder runs to projectUntil,
+	// otherwise the network really stepped to its final cycle. Callers
+	// set st.simulated from the same n.Cycle(), closing the invariant
+	// warmSaved + simulated + synthesized == horizon.
+	if projectUntil >= 0 {
+		st.horizon = projectUntil
+	} else {
+		st.horizon = n.Cycle()
 	}
 
 	w.flog = golden.FromEjectionsInto(w.flog, n.Ejections(), gc.cycle)

@@ -19,6 +19,11 @@ type runStats struct {
 	// stepped: reconvergence tails through the window end, and frozen
 	// drain/horizon remainders.
 	synthesized int64
+	// horizon is the run's logical end cycle — the boundary the
+	// accounting covers — so warmSaved + simulated + synthesized ==
+	// horizon at every exit path (the span-attribute invariant the
+	// observability tests enforce).
+	horizon int64
 	// forked reports the run warm-started above cycle 0.
 	forked bool
 }

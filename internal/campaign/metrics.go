@@ -61,6 +61,11 @@ const (
 	// MetricRunSeconds is the per-run wall-time histogram (seconds,
 	// exponential buckets 1 ms … ~32 s).
 	MetricRunSeconds = "campaign_run_seconds"
+	// MetricDetectionLatency is the histogram of NoCAlert detection
+	// latencies in cycles (detection cycle minus injection cycle;
+	// exponential buckets 1 … 32768 cycles). Only detected runs feed
+	// it, so its _count is the campaign's detection count.
+	MetricDetectionLatency = "campaign_detection_latency_cycles"
 	// MetricFired counts runs whose fault corrupted a live signal.
 	MetricFired = "campaign_faults_fired_total"
 	// Verdict-class counters: every run increments exactly one of
@@ -89,49 +94,54 @@ var runSecondsBounds = metrics.ExponentialBounds(0.001, 2, 16)
 // reconvCyclesBounds is the MetricReconvergenceCycles bucket layout.
 var reconvCyclesBounds = metrics.ExponentialBounds(1, 2, 16)
 
+// detectLatencyBounds is the MetricDetectionLatency bucket layout.
+var detectLatencyBounds = metrics.ExponentialBounds(1, 2, 16)
+
 // instruments holds the pre-resolved campaign instruments so the
 // per-run path does one pointer hop per update instead of a registry
 // lookup.
 type instruments struct {
-	runs         *metrics.Counter
-	fastHits     *metrics.Counter
-	fastMisses   *metrics.Counter
-	reconvHits   *metrics.Counter
-	fullRuns     *metrics.Counter
-	fired        *metrics.Counter
-	verdictOK    *metrics.Counter
-	verdictMal   *metrics.Counter
-	verdictUnb   *metrics.Counter
-	outcomes     [len(mechMetricNames)][len(outcomeMetricNames)]*metrics.Counter
-	runSeconds   *metrics.Histogram
-	reconvCycles *metrics.Histogram
-	faultsPS     *metrics.Gauge
-	forkedRuns   *metrics.Counter
-	warmSaved    *metrics.Counter
-	simCycles    *metrics.Counter
-	synthCycles  *metrics.Counter
-	simCyclesPS  *metrics.Gauge
+	runs          *metrics.Counter
+	fastHits      *metrics.Counter
+	fastMisses    *metrics.Counter
+	reconvHits    *metrics.Counter
+	fullRuns      *metrics.Counter
+	fired         *metrics.Counter
+	verdictOK     *metrics.Counter
+	verdictMal    *metrics.Counter
+	verdictUnb    *metrics.Counter
+	outcomes      [len(mechMetricNames)][len(outcomeMetricNames)]*metrics.Counter
+	runSeconds    *metrics.Histogram
+	reconvCycles  *metrics.Histogram
+	detectLatency *metrics.Histogram
+	faultsPS      *metrics.Gauge
+	forkedRuns    *metrics.Counter
+	warmSaved     *metrics.Counter
+	simCycles     *metrics.Counter
+	synthCycles   *metrics.Counter
+	simCyclesPS   *metrics.Gauge
 }
 
 func newInstruments(reg *metrics.Registry, workers, totalRuns int) *instruments {
 	in := &instruments{
-		runs:         reg.Counter(MetricRuns),
-		fastHits:     reg.Counter(MetricFastPathHits),
-		fastMisses:   reg.Counter(MetricFastPathMisses),
-		reconvHits:   reg.Counter(MetricReconvergenceHits),
-		fullRuns:     reg.Counter(MetricFullSimRuns),
-		fired:        reg.Counter(MetricFired),
-		verdictOK:    reg.Counter(MetricVerdictOK),
-		verdictMal:   reg.Counter(MetricVerdictMalicious),
-		verdictUnb:   reg.Counter(MetricVerdictUnbounded),
-		runSeconds:   reg.Histogram(MetricRunSeconds, runSecondsBounds),
-		reconvCycles: reg.Histogram(MetricReconvergenceCycles, reconvCyclesBounds),
-		faultsPS:     reg.Gauge(MetricFaultsPerSec),
-		forkedRuns:   reg.Counter(MetricForkedRuns),
-		warmSaved:    reg.Counter(MetricWarmstartSaved),
-		simCycles:    reg.Counter(MetricSimulatedCycles),
-		synthCycles:  reg.Counter(MetricSynthesizedCycles),
-		simCyclesPS:  reg.Gauge(MetricSimCyclesPerSec),
+		runs:          reg.Counter(MetricRuns),
+		fastHits:      reg.Counter(MetricFastPathHits),
+		fastMisses:    reg.Counter(MetricFastPathMisses),
+		reconvHits:    reg.Counter(MetricReconvergenceHits),
+		fullRuns:      reg.Counter(MetricFullSimRuns),
+		fired:         reg.Counter(MetricFired),
+		verdictOK:     reg.Counter(MetricVerdictOK),
+		verdictMal:    reg.Counter(MetricVerdictMalicious),
+		verdictUnb:    reg.Counter(MetricVerdictUnbounded),
+		runSeconds:    reg.Histogram(MetricRunSeconds, runSecondsBounds),
+		reconvCycles:  reg.Histogram(MetricReconvergenceCycles, reconvCyclesBounds),
+		detectLatency: reg.Histogram(MetricDetectionLatency, detectLatencyBounds),
+		faultsPS:      reg.Gauge(MetricFaultsPerSec),
+		forkedRuns:    reg.Counter(MetricForkedRuns),
+		warmSaved:     reg.Counter(MetricWarmstartSaved),
+		simCycles:     reg.Counter(MetricSimulatedCycles),
+		synthCycles:   reg.Counter(MetricSynthesizedCycles),
+		simCyclesPS:   reg.Gauge(MetricSimCyclesPerSec),
 	}
 	for m := range in.outcomes {
 		for o := range in.outcomes[m] {
@@ -182,6 +192,9 @@ func (in *instruments) observe(res *RunResult, wall time.Duration, exit ExitPath
 	in.outcomes[int(NoCAlert)][int(res.Outcome)].Inc()
 	in.outcomes[int(Cautious)][int(res.CautiousOutcome)].Inc()
 	in.outcomes[int(ForEVeR)][int(res.ForeverOutcome)].Inc()
+	if res.Detected && res.Latency >= 0 {
+		in.detectLatency.Observe(float64(res.Latency))
+	}
 	in.runSeconds.Observe(wall.Seconds())
 	if s := elapsed.Seconds(); s > 0 {
 		in.faultsPS.Set(float64(done) / s)

@@ -1,0 +1,326 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"nocalert/internal/fault"
+	"nocalert/internal/forever"
+	"nocalert/internal/metrics"
+	"nocalert/internal/obs"
+	"nocalert/internal/router"
+	"nocalert/internal/sim"
+	"nocalert/internal/topology"
+)
+
+// obsOpts returns the observability test campaign: a 4×4 mesh with
+// enough faults to exercise every exit path (fastpath, reconverged,
+// full, frozen fast-forward).
+func obsOpts(nFaults int) Options {
+	mesh := topology.NewMesh(4, 4)
+	rc := router.Default(mesh)
+	params := fault.Params{Mesh: mesh, VCs: rc.VCs, BufDepth: rc.BufDepth}
+	return Options{
+		Sim:           sim.Config{Router: rc, InjectionRate: 0.12, Seed: 3},
+		InjectCycle:   300,
+		PostInjectRun: 400,
+		DrainDeadline: 5000,
+		Forever:       forever.Options{Epoch: 400, HopLatency: 1},
+		Faults:        SampleFaults(params, nFaults, 5, 300),
+	}
+}
+
+func reportJSON(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// childIndex maps parent span ID → child phase names.
+func childPhases(spans []obs.SpanRecord) map[string][]string {
+	out := map[string][]string{}
+	for _, s := range spans {
+		if s.Kind == "phase" {
+			out[s.ParentID] = append(out[s.ParentID], s.Name)
+		}
+	}
+	return out
+}
+
+func hasPhase(phases []string, name string) bool {
+	for _, p := range phases {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSpanStreamGolden4x4 is the tentpole acceptance test: a 4×4
+// campaign with tracing on produces a span stream where every run's
+// cycle accounting closes (fork_cycle + cycles_simulated +
+// cycles_synthesized == horizon_cycle), exit paths carry their phase
+// spans, per-exit span counts match the report's counters, and the
+// serialized report is byte-identical to an untraced run's.
+func TestSpanStreamGolden4x4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	const nFaults = 80
+	plain, err := Run(obsOpts(nFaults))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stream, dumpSink bytes.Buffer
+	reg := metrics.NewRegistry()
+	tr := obs.New(obs.Options{Writer: &stream, Metrics: reg})
+	fr := obs.NewFlightRecorder(0, &dumpSink)
+	o := obsOpts(nFaults)
+	o.Metrics = reg
+	o.Tracer = tr
+	o.FlightRecorder = fr
+	traced, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tracing must be result-invisible: byte-identical reports.
+	if !bytes.Equal(reportJSON(t, plain), reportJSON(t, traced)) {
+		t.Error("report JSON differs between traced and untraced campaigns")
+	}
+
+	spans, err := obs.ReadSpans(&stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var campSpan *obs.SpanRecord
+	runSpans := map[string]obs.SpanRecord{}
+	for i, s := range spans {
+		if s.TraceID != tr.TraceID() {
+			t.Fatalf("span %s carries foreign trace ID %s", s.SpanID, s.TraceID)
+		}
+		switch s.Kind {
+		case "campaign":
+			campSpan = &spans[i]
+		case "run":
+			runSpans[s.SpanID] = s
+		}
+	}
+	if campSpan == nil {
+		t.Fatal("no campaign span in the stream")
+	}
+	if len(runSpans) != nFaults {
+		t.Fatalf("%d run spans, want %d (SampleEvery=1)", len(runSpans), nFaults)
+	}
+	phases := childPhases(spans)
+	if !hasPhase(phases[campSpan.SpanID], "golden-warmup") {
+		t.Error("campaign span has no golden-warmup phase")
+	}
+
+	exitCounts := map[string]int{}
+	for id, s := range runSpans {
+		if s.ParentID != campSpan.SpanID {
+			t.Errorf("run span %s not parented to the campaign span", id)
+		}
+		fork, ok1 := s.Int("fork_cycle")
+		simd, ok2 := s.Int("cycles_simulated")
+		synth, ok3 := s.Int("cycles_synthesized")
+		horizon, ok4 := s.Int("horizon_cycle")
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			t.Fatalf("run span %s missing accounting attrs: %v", id, s.Attrs)
+		}
+		if fork+simd+synth != horizon {
+			t.Errorf("run span %s: fork %d + simulated %d + synthesized %d != horizon %d",
+				id, fork, simd, synth, horizon)
+		}
+		exit, _ := s.Attrs["exit"].(string)
+		exitCounts[exit]++
+		ph := phases[id]
+		switch exit {
+		case "reconverged":
+			if !hasPhase(ph, "reconverged-tail") {
+				t.Errorf("reconverged run %s has no reconverged-tail phase", id)
+			}
+		case "fastpath":
+			if !hasPhase(ph, "fault-armed") {
+				t.Errorf("fastpath run %s has no fault-armed phase", id)
+			}
+		case "full":
+			if !hasPhase(ph, "drain") {
+				t.Errorf("full run %s has no drain phase", id)
+			}
+			if synth > 0 && !hasPhase(ph, "fast-forward") {
+				t.Errorf("fast-forwarded run %s (synthesized=%d) has no fast-forward phase", id, synth)
+			}
+		default:
+			t.Errorf("run span %s has unknown exit %q", id, exit)
+		}
+		if forked, _ := s.Attrs["forked"].(bool); forked && !hasPhase(ph, "warm-start") {
+			t.Errorf("forked run %s has no warm-start phase", id)
+		}
+	}
+	if exitCounts["fastpath"] != traced.FastPathHits {
+		t.Errorf("fastpath spans %d != report hits %d", exitCounts["fastpath"], traced.FastPathHits)
+	}
+	if exitCounts["reconverged"] != traced.ReconvergedHits {
+		t.Errorf("reconverged spans %d != report hits %d", exitCounts["reconverged"], traced.ReconvergedHits)
+	}
+	if exitCounts["fastpath"] == 0 || exitCounts["full"] == 0 {
+		t.Errorf("campaign too uniform to exercise exits: %v", exitCounts)
+	}
+
+	// The phase-duration histograms fed from phase spans and the new
+	// detection-latency histogram must be live in the registry.
+	snap := reg.Snapshot()
+	hist := map[string]int64{}
+	for _, h := range snap.Histograms {
+		hist[h.Name] = h.Count
+	}
+	if hist[obs.PhaseMetricName("drain")] == 0 {
+		t.Error("campaign_phase_drain_seconds histogram never fed")
+	}
+	detected := 0
+	for _, r := range traced.Results {
+		if r.Detected {
+			detected++
+		}
+	}
+	if hist[MetricDetectionLatency] != int64(detected) {
+		t.Errorf("detection-latency count %d != detected runs %d", hist[MetricDetectionLatency], detected)
+	}
+
+	// The flight recorder saw fork verifications and detections; no
+	// anomaly fired on a clean campaign.
+	if fr.Dumps() != 0 {
+		t.Errorf("clean campaign fired %d anomaly dumps:\n%s", fr.Dumps(), dumpSink.String())
+	}
+	kinds := map[string]bool{}
+	for _, ev := range fr.Events() {
+		kinds[ev.Kind] = true
+	}
+	if detected > 0 && !kinds["detection"] {
+		t.Error("no detection events in the flight recorder")
+	}
+}
+
+// TestSpanSamplingDeterministic checks run-span sampling: with
+// SampleEvery=4 only indices 0, 4, 8, ... carry run spans, and
+// campaign-level spans are never sampled out.
+func TestSpanSamplingDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	const nFaults = 17
+	var stream bytes.Buffer
+	tr := obs.New(obs.Options{Writer: &stream, SampleEvery: 4})
+	o := obsOpts(nFaults)
+	o.Tracer = tr
+	if _, err := Run(o); err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	spans, err := obs.ReadSpans(&stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs, camps int
+	for _, s := range spans {
+		switch s.Kind {
+		case "run":
+			runs++
+			idx, ok := s.Int("run_index")
+			if !ok || idx%4 != 0 {
+				t.Errorf("unsampled run index %d has a span", idx)
+			}
+		case "campaign":
+			camps++
+		}
+	}
+	if want := (nFaults + 3) / 4; runs != want {
+		t.Errorf("%d run spans, want %d", runs, want)
+	}
+	if camps != 1 {
+		t.Errorf("%d campaign spans, want 1", camps)
+	}
+}
+
+// TestForkVerifyMismatchDumpsFlightRecorder corrupts the recorded
+// fork-point fingerprint and checks the fork fails AND auto-dumps the
+// flight-recorder ring — the black box firing on the engine's most
+// important trust boundary.
+func TestForkVerifyMismatchDumpsFlightRecorder(t *testing.T) {
+	mesh := topology.NewMesh(4, 4)
+	rc := router.Default(mesh)
+	n, err := sim.New(sim.Config{Router: rc, InjectionRate: 0.12, Seed: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(50)
+	snap := snapshot{cycle: n.Cycle(), net: n.CloneInto(nil, nil)}
+	n.Run(50)
+	gc := &groupCtx{cycle: n.Cycle(), snap: &snap, forkFP: n.Fingerprint() ^ 0xdead}
+
+	var sink bytes.Buffer
+	fr := obs.NewFlightRecorder(16, &sink)
+	ro := &runObs{fr: fr, idx: 7}
+	var w worker
+	var st runStats
+	if _, err := w.fork(gc, fault.NewPlane(), &st, ro); err == nil {
+		t.Fatal("fork with corrupted fingerprint succeeded")
+	}
+	if fr.Dumps() != 1 {
+		t.Fatalf("fork mismatch fired %d dumps, want 1", fr.Dumps())
+	}
+	dumps, err := obs.ReadDumps(&sink)
+	if err != nil || len(dumps) != 1 {
+		t.Fatalf("ReadDumps: %v (%d dumps)", err, len(dumps))
+	}
+	if dumps[0].Reason != "fork fingerprint mismatch" {
+		t.Errorf("dump reason = %q", dumps[0].Reason)
+	}
+	last := dumps[0].Events[len(dumps[0].Events)-1]
+	if last.Kind != "fork_verify" || last.Run != 7 {
+		t.Errorf("anomaly event = %+v, want fork_verify on run 7", last)
+	}
+}
+
+// TestMissedDetectionAnomaly checks an FN verdict auto-dumps: the
+// paper's zero-false-negative claim failing is exactly what the black
+// box must capture.
+func TestMissedDetectionAnomaly(t *testing.T) {
+	var sink bytes.Buffer
+	fr := obs.NewFlightRecorder(8, &sink)
+	ro := &runObs{fr: fr, idx: 3}
+	res := RunResult{Outcome: FalseNegative}
+	var st runStats
+	ro.finish(&res, ExitFull, 0, &st, 300)
+	if fr.Dumps() != 1 {
+		t.Fatalf("FN verdict fired %d dumps, want 1", fr.Dumps())
+	}
+	if !strings.Contains(sink.String(), "missed detection") {
+		t.Errorf("dump does not name the missed detection: %s", sink.String())
+	}
+}
+
+// TestNilObsIsFree pins the disabled path: campaign code must accept a
+// nil *runObs everywhere (the Tracer==nil, FlightRecorder==nil fast
+// path allocates nothing).
+func TestNilObsIsFree(t *testing.T) {
+	var ro *runObs
+	ro.event("x", 0, "", nil)
+	ro.anomaly("x", "y", 0, "")
+	ro.fail(fmt.Errorf("e"))
+	ro.finish(&RunResult{}, ExitFull, 0, &runStats{}, 0)
+	if s := ro.phase("p"); s != nil {
+		t.Fatal("nil runObs produced a span")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"nocalert/internal/fault"
 	"nocalert/internal/metrics"
+	"nocalert/internal/obs"
 	"nocalert/internal/rng"
 	"nocalert/internal/trace"
 )
@@ -60,6 +61,16 @@ type ShardRunOptions struct {
 	// is drawn from a stream derived from (seed, shard) so it does not
 	// depend on how many times the shard was interrupted.
 	VerifyResumed int
+	// Tracer, when non-nil, wraps the shard's campaign in a shard span
+	// (parented to TraceParent — typically the daemon's job span) so
+	// the job → shard → run correlation ID threads end to end.
+	Tracer *obs.Tracer
+	// TraceParent optionally parents the shard span.
+	TraceParent *obs.Span
+	// FlightRecorder receives the underlying campaign's events plus the
+	// shard's own: checkpoint-verification divergence is an anomaly
+	// that auto-dumps the ring.
+	FlightRecorder *obs.FlightRecorder
 }
 
 // ShardRunStats summarizes one RunShard execution.
@@ -107,6 +118,18 @@ func RunShard(sh *Shard, cp *trace.Checkpoint, completed []trace.RunRecord, o Sh
 		return nil, fmt.Errorf("campaign: RunShard needs a checkpoint")
 	}
 	stats := &ShardRunStats{Total: sh.End - sh.Start}
+	sspan := o.Tracer.Start(o.TraceParent, "shard", fmt.Sprintf("shard[%d/%d]", sh.Index, sh.Count))
+	sspan.SetAttr("shard_index", sh.Index)
+	sspan.SetAttr("shard_count", sh.Count)
+	sspan.SetAttr("run_start", sh.Start)
+	sspan.SetAttr("run_end", sh.End)
+	defer func() {
+		sspan.SetAttr("resumed", stats.Resumed)
+		sspan.SetAttr("verified", stats.Verified)
+		sspan.SetAttr("executed", stats.Executed)
+		sspan.SetAttr("complete", stats.Complete)
+		sspan.End()
+	}()
 	if cp.Finalized() {
 		// Nothing to do: a finalized checkpoint was already verified
 		// against its footer checksum when it was read back.
@@ -213,6 +236,9 @@ func RunShard(sh *Shard, cp *trace.Checkpoint, completed []trace.RunRecord, o Sh
 	opts.DisableFastForward = o.DisableFastForward
 	opts.Metrics = o.Metrics
 	opts.Context = ctx
+	opts.Tracer = o.Tracer
+	opts.TraceParent = sspan
+	opts.FlightRecorder = o.FlightRecorder
 	opts.OnResult = func(i int, res *RunResult, wall time.Duration, exit ExitPath) {
 		// Serialized by the campaign's progress mutex.
 		if firstErr != nil {
@@ -235,6 +261,12 @@ func RunShard(sh *Shard, cp *trace.Checkpoint, completed []trace.RunRecord, o Sh
 			stats.Verified++
 			want := recorded[j.global]
 			if !bytes.Equal(rec.CanonicalBytes(), want.CanonicalBytes()) {
+				o.FlightRecorder.Anomaly("checkpoint divergence", obs.Event{
+					Run:    j.global,
+					Cycle:  res.Fault.Cycle,
+					Kind:   "checkpoint_verify",
+					Detail: fmt.Sprintf("recorded run %d does not reproduce under re-execution", j.global),
+				})
 				firstErr = fmt.Errorf("campaign: checkpoint diverges from deterministic re-execution at index %d:\n  recorded: %s\n  replayed: %s",
 					j.global, want.CanonicalBytes(), rec.CanonicalBytes())
 				cancel()

@@ -102,7 +102,7 @@ func planSnapshots(o *Options, cycles []int64) []int64 {
 // fingerprint recorded at the fork point, and only then arm the fault
 // plane. A zero-length replay (snapshot exactly at the injection
 // cycle) is bit-identical to forking straight off the warmed base.
-func (w *worker) fork(gc *groupCtx, plane *fault.Plane, st *runStats) (*sim.Network, error) {
+func (w *worker) fork(gc *groupCtx, plane *fault.Plane, st *runStats, ro *runObs) (*sim.Network, error) {
 	n := gc.snap.net.CloneInto(w.net, nil)
 	w.net = n
 	if n.Cycle() < gc.cycle {
@@ -110,9 +110,12 @@ func (w *worker) fork(gc *groupCtx, plane *fault.Plane, st *runStats) (*sim.Netw
 			n.Step()
 		}
 		if n.Fingerprint() != gc.forkFP {
+			detail := fmt.Sprintf("replay from snapshot %d diverged at cycle %d", gc.snap.cycle, gc.cycle)
+			ro.anomaly("fork fingerprint mismatch", "fork_verify", gc.cycle, detail)
 			return nil, fmt.Errorf("campaign: fork replay from snapshot %d diverged from the golden state at cycle %d",
 				gc.snap.cycle, gc.cycle)
 		}
+		ro.event("fork_verify", gc.cycle, "ok", map[string]any{"snapshot_cycle": gc.snap.cycle})
 		// Replay ejections all happened strictly before the injection
 		// cycle; drop them so the log keeps the post-injection-only
 		// contract every fork-point comparison relies on.

@@ -68,7 +68,14 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // Histogram counts observations into fixed buckets. Bucket i counts
 // observations v with bounds[i-1] < v <= bounds[i]; one extra overflow
 // bucket counts v > bounds[len-1]. Buckets are non-cumulative.
+//
+// The bucket/count/sum triple is updated with atomics so concurrent
+// observers never contend on a lock; the RWMutex exists only so
+// Registry.Snapshot can take the write side and read a coherent triple
+// (count == Σ buckets, sum covering exactly those observations) while
+// observers briefly queue behind it.
 type Histogram struct {
+	mu      sync.RWMutex
 	bounds  []float64
 	buckets []atomic.Int64 // len(bounds)+1, last is overflow
 	count   atomic.Int64
@@ -80,6 +87,8 @@ func (h *Histogram) Observe(v float64) {
 	// SearchFloat64s returns the smallest i with bounds[i] >= v, which
 	// is exactly the "v <= upper bound" bucket; v above every bound
 	// lands on len(bounds), the overflow bucket.
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.buckets[i].Add(1)
 	h.count.Add(1)
@@ -266,9 +275,14 @@ type Snapshot struct {
 	Histograms []HistogramValue `json:"histograms"`
 }
 
-// Snapshot captures every instrument. With no concurrent writes two
-// snapshots are deeply equal; under concurrent writes each instrument
-// is read atomically but the set is not a consistent cut.
+// Snapshot captures every instrument. Counters and gauges are single
+// atomics, so each value is exact at some instant. Histograms are
+// multi-word: Snapshot is the single lock-ordered path that takes each
+// histogram's write lock — in sorted-name order, while holding the
+// registry mutex — so every HistogramValue is internally consistent
+// (Count == Σ Counts, Sum covering exactly those observations) even
+// under concurrent observers. No other code path takes more than one
+// instrument lock, so the ordering cannot deadlock.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -279,18 +293,26 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, g := range r.gauges {
 		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value()})
 	}
-	for name, h := range r.histograms {
-		s.Histograms = append(s.Histograms, HistogramValue{
+	hnames := make([]string, 0, len(r.histograms))
+	for name := range r.histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := r.histograms[name]
+		h.mu.Lock()
+		hv := HistogramValue{
 			Name:   name,
 			Bounds: append([]float64(nil), h.bounds...),
 			Counts: h.BucketCounts(),
 			Count:  h.Count(),
 			Sum:    h.Sum(),
-		})
+		}
+		h.mu.Unlock()
+		s.Histograms = append(s.Histograms, hv)
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
-	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 	return s
 }
 

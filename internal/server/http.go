@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"nocalert/internal/campaign"
+	"nocalert/internal/metrics"
 )
 
 // API surface:
@@ -28,6 +29,7 @@ import (
 //	                            unsharded faultcampaign -json output)
 //	GET    /healthz             liveness + queue summary
 //	GET    /metricsz            metrics registry (?format=text for plain)
+//	GET    /metrics             OpenMetrics/Prometheus text exposition
 //	GET    /debug/pprof/        live profiling
 //	GET    /debug/vars          expvar
 //
@@ -71,6 +73,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents) // streaming: no TimeoutHandler
 	mux.Handle("GET /healthz", timeout(s.handleHealth))
 	mux.Handle("GET /metricsz", timeout(s.handleMetrics))
+	mux.Handle("GET /metrics", timeout(s.handleOpenMetrics))
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -245,6 +248,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"queued":   s.gQueued.Value(),
 		"running":  s.gRunning.Value(),
 	})
+}
+
+// handleOpenMetrics is the Prometheus/OpenMetrics exposition of the
+// whole registry — queue gauges, campaign counters and the span-fed
+// phase-duration histograms alike — for standard scrapers.
+func (s *Server) handleOpenMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.OpenMetricsContentType)
+	s.reg.WriteOpenMetrics(w)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

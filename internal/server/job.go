@@ -102,10 +102,15 @@ type Job struct {
 	reconverged int
 	fullSim     int
 	forked      int
-	errMsg      string
-	submitted   time.Time
-	started     time.Time
-	finished    time.Time
+	// faultsPerSec is the campaign's live throughput gauge at the last
+	// progress callback; droppedEvents counts events any subscriber
+	// missed because its stream buffer was full. Both surface in View.
+	faultsPerSec  float64
+	droppedEvents int
+	errMsg        string
+	submitted     time.Time
+	started       time.Time
+	finished      time.Time
 	// cancelRun cancels the running campaign's context; canceled marks
 	// a user cancellation (as opposed to a daemon drain).
 	cancelRun context.CancelFunc
@@ -150,10 +155,17 @@ type View struct {
 	ReconvergedHits int           `json:"reconverged_hits,omitempty"`
 	FullSimRuns     int           `json:"full_sim_runs,omitempty"`
 	ForkedRuns      int           `json:"forked_runs,omitempty"`
-	Error           string        `json:"error,omitempty"`
-	SubmittedAt     string        `json:"submitted_at"`
-	StartedAt       string        `json:"started_at,omitempty"`
-	FinishedAt      string        `json:"finished_at,omitempty"`
+	// FaultsPerSec is the live campaign throughput while the job runs
+	// (zero until the first progress sample, and after terminal states).
+	FaultsPerSec float64 `json:"faults_per_sec,omitempty"`
+	// DroppedEvents counts progress events slow subscribers missed —
+	// the event hub truncates rather than stall the campaign, and this
+	// total makes that loss observable.
+	DroppedEvents int    `json:"dropped_events,omitempty"`
+	Error         string `json:"error,omitempty"`
+	SubmittedAt   string `json:"submitted_at"`
+	StartedAt     string `json:"started_at,omitempty"`
+	FinishedAt    string `json:"finished_at,omitempty"`
 }
 
 func rfc3339(t time.Time) string {
@@ -181,6 +193,8 @@ func (j *Job) view() View {
 		ReconvergedHits: j.reconverged,
 		FullSimRuns:     j.fullSim,
 		ForkedRuns:      j.forked,
+		FaultsPerSec:    j.faultsPerSec,
+		DroppedEvents:   j.droppedEvents,
 		Error:           j.errMsg,
 		SubmittedAt:     rfc3339(j.submitted),
 		StartedAt:       rfc3339(j.started),
@@ -247,6 +261,7 @@ func (j *Job) publishLocked(ev Event) {
 			sub.dropped = 0
 		default:
 			sub.dropped++
+			j.droppedEvents++
 		}
 	}
 }

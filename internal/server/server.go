@@ -6,12 +6,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"sync"
 	"time"
 
 	"nocalert/internal/campaign"
 	"nocalert/internal/metrics"
+	"nocalert/internal/obs"
 	"nocalert/internal/trace"
 )
 
@@ -56,8 +58,17 @@ type Config struct {
 	// Registry receives job-queue and campaign telemetry; one is
 	// created when nil.
 	Registry *metrics.Registry
-	// Logf, when non-nil, receives one line per job transition.
-	Logf func(format string, args ...any)
+	// Logger receives one structured record per job transition, every
+	// record carrying the job ID (and, when tracing is on, the trace ID)
+	// so daemon logs correlate with span streams. Nil discards.
+	Logger *slog.Logger
+	// Tracer, when non-nil, wraps every job execution in a job span and
+	// threads the job → shard → run span hierarchy through RunShard.
+	Tracer *obs.Tracer
+	// FlightRecorder, when non-nil, receives the campaigns' black-box
+	// events; anomalies (fork-verify mismatch, checkpoint divergence,
+	// missed detections) auto-dump the ring to its sink.
+	FlightRecorder *obs.FlightRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -73,8 +84,8 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -161,6 +172,18 @@ func (s *Server) startWorkers() {
 // Registry returns the server's metrics registry.
 func (s *Server) Registry() *metrics.Registry { return s.reg }
 
+// jobLog returns the configured logger bound to one job's correlation
+// attributes: the job ID always, and the trace ID when tracing is on —
+// the same ID every span of the job's campaign carries, so a log line
+// and a span stream join on it.
+func (s *Server) jobLog(id string) *slog.Logger {
+	l := s.cfg.Logger.With("job", id)
+	if s.cfg.Tracer != nil {
+		l = l.With("trace_id", s.cfg.Tracer.TraceID())
+	}
+	return l
+}
+
 // recover rebuilds the job table from the state directory.
 func (s *Server) recover() error {
 	states, err := trace.ListJobStates(s.cfg.Dir)
@@ -203,7 +226,7 @@ func (s *Server) recover() error {
 		s.queue <- j
 		s.gQueued.Add(1)
 		s.mRecovered.Inc()
-		s.cfg.Logf("job %s: recovered as queued (spec %s)", j.ID, j.SpecHash)
+		s.jobLog(j.ID).Info("job recovered as queued", "spec", j.SpecHash)
 	}
 	return nil
 }
@@ -292,7 +315,7 @@ func (s *Server) Submit(spec campaign.Spec) (*Job, error) {
 	s.mu.Unlock()
 	s.mSubmitted.Inc()
 	s.gQueued.Add(1)
-	s.cfg.Logf("job %s: queued (spec %s, %d faults)", j.ID, j.SpecHash, spec.NumFaults)
+	s.jobLog(j.ID).Info("job queued", "spec", j.SpecHash, "faults", spec.NumFaults)
 	return j, nil
 }
 
@@ -352,7 +375,7 @@ func (s *Server) Cancel(id string) error {
 		s.gQueued.Add(-1)
 		s.mCanceled.Inc()
 		s.persistTerminal(j)
-		s.cfg.Logf("job %s: canceled while queued", id)
+		s.jobLog(id).Info("job canceled while queued")
 		return nil
 	}
 }
@@ -435,13 +458,14 @@ func (s *Server) runJob(j *Job) {
 		// to queued too, for a truthful /v1/jobs during shutdown.
 		j.status = StatusQueued
 		j.mu.Unlock()
-		s.cfg.Logf("job %s: interrupted by drain; checkpoint keeps %d completed runs", j.ID, j.done)
+		s.jobLog(j.ID).Info("job interrupted by drain; checkpoint keeps completed runs", "done", j.done)
 		return
 	default:
 		j.status = StatusFailed
 		j.finished = time.Now()
 		j.errMsg = err.Error()
 	}
+	j.faultsPerSec = 0 // terminal: the live throughput gauge is over
 	final := Event{Type: "status", Job: j.ID, Status: j.status, Done: j.done, Total: j.total, Resumed: j.resumed,
 		FastPathHits: j.fastPath, Reconverged: j.reconverged, FullSim: j.fullSim, Forked: j.forked, Error: j.errMsg}
 	j.publishLocked(final)
@@ -458,13 +482,33 @@ func (s *Server) runJob(j *Job) {
 		s.mCanceled.Inc()
 	}
 	s.persistTerminal(j)
-	s.cfg.Logf("job %s: %s", j.ID, st)
+	if st == StatusFailed {
+		s.jobLog(j.ID).Error("job failed", "error", j.view().Error)
+	} else {
+		s.jobLog(j.ID).Info("job finished", "status", st)
+	}
 }
 
 // execute plans the job as shard 0/1, resumes its checkpoint, runs the
 // remainder and writes the final report. Any error leaves the
-// checkpoint consistent for the next attempt.
+// checkpoint consistent for the next attempt. When tracing is on the
+// whole execution runs under a job span, the root of the job → shard →
+// run hierarchy RunShard and the campaign extend.
 func (s *Server) execute(ctx context.Context, j *Job) error {
+	jspan := s.cfg.Tracer.Start(nil, "job", "job["+j.ID+"]")
+	jspan.SetAttr("job_id", j.ID)
+	jspan.SetAttr("spec_hash", j.SpecHash)
+	err := s.executeShard(ctx, j, jspan)
+	if err != nil {
+		jspan.SetAttr("error", err.Error())
+	}
+	jspan.End()
+	return err
+}
+
+// executeShard is execute's body, split out so the job span brackets
+// every exit path.
+func (s *Server) executeShard(ctx context.Context, j *Job, jspan *obs.Span) error {
 	sh, err := campaign.PlanShard(j.Spec, 0, 1)
 	if err != nil {
 		return err
@@ -494,14 +538,17 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 	}
 	j.mu.Unlock()
 	if len(completed) > 0 {
-		s.cfg.Logf("job %s: resuming checkpoint with %d/%d recorded runs", j.ID, len(completed), total)
+		s.jobLog(j.ID).Info("resuming checkpoint", "recorded", len(completed), "total", total)
 	}
 
 	stats, err := campaign.RunShard(sh, cp, completed, campaign.ShardRunOptions{
-		Workers:       s.cfg.CampaignWorkers,
-		Metrics:       s.reg,
-		Context:       ctx,
-		VerifyResumed: s.cfg.VerifyResumed,
+		Workers:        s.cfg.CampaignWorkers,
+		Metrics:        s.reg,
+		Context:        ctx,
+		VerifyResumed:  s.cfg.VerifyResumed,
+		Tracer:         s.cfg.Tracer,
+		TraceParent:    jspan,
+		FlightRecorder: s.cfg.FlightRecorder,
 		Progress: func(done, total int, st campaign.ShardRunStats) {
 			fps := s.reg.Gauge(campaign.MetricFaultsPerSec).Value()
 			ev := Event{Type: "progress", Job: j.ID, Status: StatusRunning, Done: done, Total: total,
@@ -515,6 +562,7 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 			j.fastPath = st.FastPathHits
 			j.reconverged = st.Reconverged
 			j.fullSim = st.FullSim
+			j.faultsPerSec = fps
 			ev.Resumed = j.resumed
 			j.publishLocked(ev)
 			j.mu.Unlock()
@@ -567,7 +615,7 @@ func (s *Server) persistTerminal(j *Job) {
 	v := j.view()
 	specJSON, err := json.Marshal(&v.Spec)
 	if err != nil {
-		s.cfg.Logf("job %s: persist: %v", j.ID, err)
+		s.jobLog(j.ID).Error("job state persist failed", "error", err)
 		return
 	}
 	if err := trace.WriteJobState(s.cfg.Dir, &trace.JobState{
@@ -579,6 +627,6 @@ func (s *Server) persistTerminal(j *Job) {
 		SubmittedAt: v.SubmittedAt,
 		FinishedAt:  v.FinishedAt,
 	}); err != nil {
-		s.cfg.Logf("job %s: persist: %v", j.ID, err)
+		s.jobLog(j.ID).Error("job state persist failed", "error", err)
 	}
 }

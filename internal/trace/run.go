@@ -132,26 +132,5 @@ func (rw *RunWriter) Flush() error {
 // final line (the normal shape of an interrupted campaign): complete
 // records before the truncation are returned with a nil error.
 func ReadRunRecords(r io.Reader) ([]RunRecord, error) {
-	var out []RunRecord
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		b := sc.Bytes()
-		if len(b) == 0 {
-			continue
-		}
-		var rec RunRecord
-		if err := json.Unmarshal(b, &rec); err != nil {
-			// A torn trailing line is expected after an interrupt; a bad
-			// line with more data after it is corruption worth reporting.
-			if !sc.Scan() {
-				return out, nil
-			}
-			return out, fmt.Errorf("trace: bad NDJSON record on line %d: %v", line, err)
-		}
-		out = append(out, rec)
-	}
-	return out, sc.Err()
+	return DecodeTolerant[RunRecord](r)
 }

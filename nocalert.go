@@ -55,6 +55,7 @@ import (
 	"nocalert/internal/golden"
 	"nocalert/internal/hwmodel"
 	"nocalert/internal/metrics"
+	"nocalert/internal/obs"
 	"nocalert/internal/recovery"
 	"nocalert/internal/router"
 	"nocalert/internal/routing"
@@ -494,6 +495,57 @@ const (
 	MetricCampaignSynthesizedCycles   = campaign.MetricSynthesizedCycles
 	MetricCampaignSimCyclesPerSec     = campaign.MetricSimCyclesPerSec
 )
+
+// OpenMetricsContentType is the Content-Type of
+// MetricsRegistry.WriteOpenMetrics' Prometheus/OpenMetrics exposition.
+const OpenMetricsContentType = metrics.OpenMetricsContentType
+
+// ---- Observability ----
+
+// Tracer streams hierarchical campaign spans — campaign → shard → run
+// → phase — as NDJSON with deterministic run sampling and optional
+// OTLP/JSON export; attach it via CampaignOptions.Tracer. Nil-safe: a
+// nil *Tracer records nothing.
+type Tracer = obs.Tracer
+
+// TracerOptions configures NewTracer.
+type TracerOptions = obs.Options
+
+// Span is one live span; SpanRecord is its serialized stream form.
+type Span = obs.Span
+
+// SpanRecord is one record of the span NDJSON stream.
+type SpanRecord = obs.SpanRecord
+
+// NewTracer returns a tracer with a fresh random trace ID.
+func NewTracer(o TracerOptions) *Tracer { return obs.New(o) }
+
+// ReadSpans decodes a span NDJSON stream, silently dropping a torn
+// trailing line (a killed process loses at most one record).
+func ReadSpans(r io.Reader) ([]SpanRecord, error) { return obs.ReadSpans(r) }
+
+// FlightRecorder is the bounded anomaly black box: recent campaign
+// events (fork verifications, fingerprint probes, detections) in a
+// ring that auto-dumps to its sink on anomalies such as fork-verify
+// mismatches or missed-detection verdicts. Attach it via
+// CampaignOptions.FlightRecorder. Nil-safe.
+type FlightRecorder = obs.FlightRecorder
+
+// FlightEvent is one flight-recorder ring entry.
+type FlightEvent = obs.Event
+
+// FlightDump is one dumped ring with the anomaly that triggered it.
+type FlightDump = obs.Dump
+
+// NewFlightRecorder returns a recorder holding the most recent
+// capacity events (0 = a sensible default), dumping to sink.
+func NewFlightRecorder(capacity int, sink io.Writer) *FlightRecorder {
+	return obs.NewFlightRecorder(capacity, sink)
+}
+
+// ReadFlightDumps decodes a flight-recorder dump stream, tolerating a
+// torn trailing line.
+func ReadFlightDumps(r io.Reader) ([]FlightDump, error) { return obs.ReadDumps(r) }
 
 // CampaignETA converts a live faults/sec reading into the expected
 // time to finish the remaining runs; ok is false when the rate is
