@@ -55,7 +55,7 @@ test: vet
 # minutes race-enabled.
 race:
 	$(GO) test -race ./internal/campaign ./internal/sim ./internal/metrics \
-		./internal/trace ./internal/server ./internal/obs
+		./internal/trace ./internal/server ./internal/obs ./internal/coordinator
 
 # cover enforces the coverage floor over ./internal/... and leaves the
 # profile in cover.out for inspection (`go tool cover -html=cover.out`).
@@ -71,6 +71,13 @@ cover:
 # byte-identical to an uninterrupted run's (see e2e/restart_test.go).
 e2e:
 	$(GO) test -tags e2e ./e2e -v -timeout 20m
+
+# e2e-dist is the distributed gate alone: a coordinator dispatching the
+# golden campaign to a local 3-worker fleet, one worker SIGKILLed
+# mid-flight, merged report byte-identical to the unsharded run and the
+# committed fixture (see e2e/distributed_test.go).
+e2e-dist:
+	$(GO) test -tags e2e ./e2e -run TestDistributed -v -timeout 20m
 
 # Campaign throughput baseline (faults/sec, ns/fault, allocs/fault),
 # plus timestamped records appended to BENCH_4x4.json so the perf

@@ -49,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,19 +60,29 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "localhost:8377", "HTTP listen address (host:0 picks a free port)")
-		dir      = flag.String("dir", "nocalertd-state", "state directory: job manifests, checkpoints and reports")
-		queue    = flag.Int("queue", 16, "submission queue bound; beyond it POST /v1/jobs returns 429")
-		jobs     = flag.Int("jobs", 1, "jobs running concurrently (each job is internally parallel)")
-		workers  = flag.Int("workers", 0, "per-campaign worker pool size (0 = GOMAXPROCS)")
-		verifyN  = flag.Int("verify-resumed", 0, "recorded runs to re-execute and compare when resuming a checkpoint (0 = default sample, -1 = none)")
-		drainFor = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight runs before giving up")
-		logJSON  = flag.Bool("log-json", false, "emit log records as JSON instead of text")
-		spanFile = flag.String("trace-spans", "", "stream job/shard/run/phase spans as NDJSON to this file")
-		spanN    = flag.Int("span-sample", 1, "sample every Nth run span (campaign-level spans always recorded)")
-		frFile   = flag.String("flight-recorder", "", "arm the anomaly flight recorder, dumping its ring to this file")
+		addr      = flag.String("addr", "localhost:8377", "HTTP listen address (host:0 picks a free port)")
+		dir       = flag.String("dir", "nocalertd-state", "state directory: job manifests, checkpoints and reports")
+		queue     = flag.Int("queue", 16, "submission queue bound; beyond it POST /v1/jobs returns 429")
+		jobs      = flag.Int("jobs", 1, "jobs running concurrently (each job is internally parallel)")
+		workers   = flag.Int("workers", 0, "per-campaign worker pool size (0 = GOMAXPROCS)")
+		verifyN   = flag.Int("verify-resumed", 0, "recorded runs to re-execute and compare when resuming a checkpoint (0 = default sample, -1 = none)")
+		drainFor  = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight runs before giving up")
+		logJSON   = flag.Bool("log-json", false, "emit log records as JSON instead of text")
+		spanFile  = flag.String("trace-spans", "", "stream job/shard/run/phase spans as NDJSON to this file")
+		spanN     = flag.Int("span-sample", 1, "sample every Nth run span (campaign-level spans always recorded)")
+		frFile    = flag.String("flight-recorder", "", "arm the anomaly flight recorder, dumping its ring to this file")
+		auth      = flag.String("auth", "", "comma-separated tenant=token pairs; when set, POST/DELETE require a matching bearer token (read endpoints stay open)")
+		quota     = flag.Int("tenant-quota", 0, "max active (queued+running) jobs per tenant; 0 = unlimited")
+		rateLim   = flag.Float64("rate-limit", 0, "mutating requests/second per tenant (token bucket); 0 = off")
+		rateBurst = flag.Int("rate-burst", 0, "token-bucket burst headroom (default 5 when -rate-limit is set)")
 	)
 	flag.Parse()
+
+	authTokens, err := parseAuthFlag(*auth)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocalertd:", err)
+		os.Exit(1)
+	}
 
 	var h slog.Handler
 	if *logJSON {
@@ -117,6 +128,10 @@ func main() {
 		Logger:          logger,
 		Tracer:          tracer,
 		FlightRecorder:  fr,
+		AuthTokens:      authTokens,
+		TenantQuota:     *quota,
+		RateLimit:       *rateLim,
+		RateBurst:       *rateBurst,
 	})
 	if err != nil {
 		fatal("startup", err)
@@ -164,4 +179,24 @@ func main() {
 		logger.Error("serve", "error", err)
 	}
 	logger.Info("drained; state is resumable on next start")
+}
+
+// parseAuthFlag parses "-auth tenant=token,tenant2=token2" into the
+// token → tenant table server.Config wants.
+func parseAuthFlag(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	tokens := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		tenant, token, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || tenant == "" || token == "" {
+			return nil, fmt.Errorf("invalid -auth entry %q (want tenant=token)", pair)
+		}
+		if _, dup := tokens[token]; dup {
+			return nil, fmt.Errorf("-auth token for %q reused; tokens must be unique", tenant)
+		}
+		tokens[token] = tenant
+	}
+	return tokens, nil
 }

@@ -1,0 +1,199 @@
+//go:build e2e
+
+package e2e
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// The distributed gate runs the golden 4×4 campaign (the spec behind
+// testdata/golden_4x4_seed3.json) across a 3-worker fleet.
+var goldenArgs = []string{
+	"-mesh", "4x4", "-vcs", "4", "-rate", "0.12", "-seed", "3",
+	"-inject", "300", "-post", "400", "-drain", "5000", "-epoch", "400",
+	"-faults", "96",
+}
+
+// fleetJobs lists a worker's jobs through the (unauthenticated) read
+// API; reads stay open on an authed fleet.
+func fleetJobs(t *testing.T, base string) []view {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs")
+	if err != nil {
+		return nil // worker may already be dead
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Jobs []view `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil
+	}
+	return body.Jobs
+}
+
+// TestDistributedCampaignSurvivesWorkerKill is the CI distributed
+// gate: a coordinator dispatches the golden campaign to a 3-worker
+// authed fleet, one worker is SIGKILLed mid-flight, and the merged
+// report must still be byte-identical to the unsharded CLI run (and
+// bit-identical to the committed golden fixture), with the forfeited
+// shards visibly requeued onto survivors.
+func TestDistributedCampaignSurvivesWorkerKill(t *testing.T) {
+	daemonBin, cliBin := binaries(t)
+
+	// Reference: the unsharded single-machine CLI run.
+	cliJSON := filepath.Join(t.TempDir(), "cli.json")
+	cli := exec.Command(cliBin, append(append([]string{}, goldenArgs...),
+		"-progress=false", "-fig", "none", "-json", cliJSON)...)
+	if out, err := cli.CombinedOutput(); err != nil {
+		t.Fatalf("faultcampaign: %v\n%s", err, out)
+	}
+	want, err := os.ReadFile(cliJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A 3-worker fleet with bearer-token auth on.
+	const authFlag = "ci=tok-e2e,ops=tok-ops"
+	workers := make([]*daemon, 3)
+	for i := range workers {
+		workers[i] = startDaemon(t, daemonBin, t.TempDir(),
+			"-workers", "1", "-auth", authFlag)
+	}
+	victim := workers[1]
+
+	// SIGKILL the victim the moment it is running a shard, so at least
+	// its in-flight work must be requeued onto the survivors.
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		deadline := time.Now().Add(2 * time.Minute)
+		for time.Now().Before(deadline) {
+			for _, v := range fleetJobs(t, victim.base) {
+				if v.Status == "running" {
+					victim.cmd.Process.Kill()
+					victim.cmd.Wait()
+					return
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	outJSON := filepath.Join(t.TempDir(), "merged.json")
+	spans := filepath.Join(t.TempDir(), "spans.ndjson")
+	args := append([]string{"dispatch",
+		"-workers", workers[0].base + "," + workers[1].base + "," + workers[2].base,
+		"-token", "tok-e2e",
+		"-shards", "12",
+		"-max-attempts", "12",
+		"-progress=false", "-v",
+		"-fig", "none",
+		"-out", outJSON,
+		"-trace-spans", spans,
+		"-golden", filepath.Join("..", "testdata", "golden_4x4_seed3.json"),
+	}, goldenArgs...)
+	dispatch := exec.Command(cliBin, args...)
+	var stdout, stderr bytes.Buffer
+	dispatch.Stdout = io.MultiWriter(&stdout)
+	dispatch.Stderr = &stderr
+	if err := dispatch.Run(); err != nil {
+		t.Fatalf("dispatch: %v\nstdout:\n%s\nstderr:\n%s", err, &stdout, &stderr)
+	}
+	<-killed
+
+	// Byte-identity: merged fleet report == unsharded CLI report.
+	got, err := os.ReadFile(outJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("distributed report differs from single-machine CLI output (%d vs %d bytes)", len(got), len(want))
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("golden check: merged records are bit-identical")) {
+		t.Fatalf("golden fixture gate did not pass; stdout:\n%s", &stdout)
+	}
+
+	// The kill must have been visible: the summary line reports the
+	// requeues and the dead worker.
+	sum := regexp.MustCompile(`(\d+) shards, (\d+) requeued, (\d+) retries, (\d+) workers died`).
+		FindSubmatch(stdout.Bytes())
+	if sum == nil {
+		t.Fatalf("no fleet summary line; stdout:\n%s", &stdout)
+	}
+	requeued, _ := strconv.Atoi(string(sum[2]))
+	died, _ := strconv.Atoi(string(sum[4]))
+	if requeued < 1 {
+		t.Fatalf("worker was SIGKILLed mid-campaign but nothing was requeued\nstdout:\n%s\nstderr:\n%s", &stdout, &stderr)
+	}
+	if died != 1 {
+		t.Fatalf("workers died = %d, want exactly the victim\nstdout:\n%s", died, &stdout)
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("(died)")) {
+		t.Fatalf("per-worker table does not mark the victim dead:\n%s", &stdout)
+	}
+
+	// The requeue is also on the span stream: at least one dispatch
+	// span ended requeued, and the campaign still completed every
+	// shard (so the requeued shard's retry ran on a survivor).
+	spanData, err := os.ReadFile(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(spanData, []byte(`"outcome":"requeued"`)) {
+		t.Fatalf("no dispatch span with outcome=requeued in %s", spans)
+	}
+	if !bytes.Contains(spanData, []byte(`"outcome":"done"`)) {
+		t.Fatalf("no completed dispatch spans in %s", spans)
+	}
+
+	// Survivors absorbed the work: their per-worker tallies cover all
+	// 12 shards minus whatever the victim finished before dying.
+	table := regexp.MustCompile(`worker \d+ \S+: (\d+) shards`).FindAllSubmatch(stdout.Bytes(), -1)
+	if len(table) != 3 {
+		t.Fatalf("per-worker table incomplete:\n%s", &stdout)
+	}
+	total := 0
+	for _, row := range table {
+		n, _ := strconv.Atoi(string(row[1]))
+		total += n
+	}
+	if total != 12 {
+		t.Fatalf("per-worker shard tallies sum to %d, want 12:\n%s", total, &stdout)
+	}
+	fmt.Printf("distributed gate: %d requeued, survivors absorbed the victim's shards\n", requeued)
+}
+
+// TestDispatchRejectsBadToken checks the fleet's auth actually bites
+// end to end: a dispatch with the wrong bearer token fails fast with
+// the 401 surfaced, and no jobs land on the worker.
+func TestDispatchRejectsBadToken(t *testing.T) {
+	daemonBin, cliBin := binaries(t)
+	w := startDaemon(t, daemonBin, t.TempDir(), "-auth", "ci=tok-e2e")
+
+	args := append([]string{"dispatch",
+		"-workers", w.base, "-token", "tok-wrong", "-shards", "2",
+		"-progress=false", "-fig", "none",
+	}, goldenArgs...)
+	out, err := exec.Command(cliBin, args...).CombinedOutput()
+	if err == nil {
+		t.Fatalf("dispatch with a bad token succeeded:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("401")) && !bytes.Contains(out, []byte("unknown bearer token")) {
+		t.Fatalf("failure does not surface the auth rejection:\n%s", out)
+	}
+	if jobs := fleetJobs(t, w.base); len(jobs) != 0 {
+		t.Fatalf("unauthenticated dispatch still created %d jobs", len(jobs))
+	}
+}

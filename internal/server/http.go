@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -65,11 +66,12 @@ func (s *Server) Handler() http.Handler {
 	timeout := func(h http.HandlerFunc) http.Handler {
 		return http.TimeoutHandler(h, DefaultRequestTimeout, `{"error":"request timed out"}`)
 	}
-	mux.Handle("POST /v1/jobs", timeout(s.handleSubmit))
+	mux.Handle("POST /v1/jobs", timeout(s.requireAuth(s.handleSubmit)))
 	mux.Handle("GET /v1/jobs", timeout(s.handleList))
 	mux.Handle("GET /v1/jobs/{id}", timeout(s.handleStatus))
-	mux.Handle("DELETE /v1/jobs/{id}", timeout(s.handleCancel))
+	mux.Handle("DELETE /v1/jobs/{id}", timeout(s.requireAuth(s.handleCancel)))
 	mux.Handle("GET /v1/jobs/{id}/report", timeout(s.handleReport))
+	mux.Handle("GET /v1/jobs/{id}/checkpoint", timeout(s.handleCheckpoint))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents) // streaming: no TimeoutHandler
 	mux.Handle("GET /healthz", timeout(s.handleHealth))
 	mux.Handle("GET /metricsz", timeout(s.handleMetrics))
@@ -96,11 +98,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
 		return
 	}
-	j, err := s.Submit(spec)
+	opts := SubmitOptions{Tenant: tenantFrom(r)}
+	q := r.URL.Query()
+	if q.Get("shard") != "" || q.Get("shards") != "" {
+		var err error
+		if opts.Shard, err = strconv.Atoi(q.Get("shard")); err != nil {
+			httpError(w, http.StatusBadRequest, "bad shard parameter: %v", err)
+			return
+		}
+		if opts.Shards, err = strconv.Atoi(q.Get("shards")); err != nil {
+			httpError(w, http.StatusBadRequest, "bad shards parameter: %v", err)
+			return
+		}
+	}
+	j, existing, err := s.SubmitJob(spec, opts)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "5")
-		httpError(w, http.StatusTooManyRequests, "job queue is full (%d queued); retry later", cap(s.queue))
+		httpError(w, http.StatusTooManyRequests, "job queue is full (%d queued); retry later", s.queue.cap())
+		return
+	case errors.Is(err, ErrQuotaExceeded):
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusTooManyRequests, "tenant %q is at its active-job quota (%d); retry when a job finishes", opts.Tenant, s.cfg.TenantQuota)
 		return
 	case errors.Is(err, errDraining):
 		httpError(w, http.StatusServiceUnavailable, "daemon is draining")
@@ -110,7 +129,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+j.ID)
-	writeJSON(w, http.StatusCreated, j.view())
+	code := http.StatusCreated
+	if existing {
+		// Idempotent shard re-submission: same spec hash and shard
+		// coordinates as a live or completed job.
+		code = http.StatusOK
+	}
+	writeJSON(w, code, j.view())
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -154,12 +179,32 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v := j.view()
+	if v.Shards > 1 {
+		httpError(w, http.StatusConflict, "job %s is shard %d/%d of a larger campaign; fetch its checkpoint and merge instead", j.ID, v.Shard, v.Shards)
+		return
+	}
 	if v.Status != StatusDone {
 		httpError(w, http.StatusConflict, "job %s is %s; the report exists once it is done", j.ID, v.Status)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	http.ServeFile(w, r, s.ReportPath(j.ID))
+}
+
+// handleCheckpoint serves a done job's finalized shard checkpoint —
+// the NDJSON artifact a coordinator feeds through MergeShards. Like
+// the report it exists only once the job is done.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	if v := j.view(); v.Status != StatusDone {
+		httpError(w, http.StatusConflict, "job %s is %s; the checkpoint is final once it is done", j.ID, v.Status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	http.ServeFile(w, r, s.checkpointPath(j))
 }
 
 // handleEvents streams the job's progress until the job goes terminal,

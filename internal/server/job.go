@@ -90,6 +90,14 @@ type Job struct {
 	// applied at submit time, before hashing or persisting).
 	Spec     campaign.Spec
 	SpecHash string
+	// Tenant names the submitter (resolved from the auth table); ""
+	// for anonymous/local submissions.
+	Tenant string
+	// ShardIndex/ShardCount are the job's shard coordinates: a
+	// coordinator-dispatched slice of a larger campaign runs shard
+	// ShardIndex of ShardCount; a whole-campaign job runs 0 of 1.
+	ShardIndex int
+	ShardCount int
 
 	mu          sync.Mutex
 	status      Status
@@ -121,13 +129,14 @@ type Job struct {
 
 func newJob(id string, spec campaign.Spec, submitted time.Time) *Job {
 	return &Job{
-		ID:        id,
-		Spec:      spec,
-		SpecHash:  spec.Hash(),
-		status:    StatusQueued,
-		total:     spec.NumFaults,
-		submitted: submitted,
-		subs:      make(map[*subscriber]struct{}),
+		ID:         id,
+		Spec:       spec,
+		SpecHash:   spec.Hash(),
+		ShardCount: 1,
+		status:     StatusQueued,
+		total:      spec.NumFaults,
+		submitted:  submitted,
+		subs:       make(map[*subscriber]struct{}),
 	}
 }
 
@@ -142,19 +151,26 @@ func newJobID() string {
 
 // View is the JSON shape of a job in API responses.
 type View struct {
-	ID              string        `json:"id"`
-	Status          Status        `json:"status"`
-	Spec            campaign.Spec `json:"spec"`
-	SpecHash        string        `json:"spec_hash"`
-	Done            int           `json:"done"`
-	Total           int           `json:"total"`
-	Resumed         int           `json:"resumed,omitempty"`
-	Executed        int           `json:"executed,omitempty"`
-	Verified        int           `json:"verified,omitempty"`
-	FastPathHits    int           `json:"fast_path_hits,omitempty"`
-	ReconvergedHits int           `json:"reconverged_hits,omitempty"`
-	FullSimRuns     int           `json:"full_sim_runs,omitempty"`
-	ForkedRuns      int           `json:"forked_runs,omitempty"`
+	ID       string        `json:"id"`
+	Status   Status        `json:"status"`
+	Spec     campaign.Spec `json:"spec"`
+	SpecHash string        `json:"spec_hash"`
+	// Tenant is the submitting tenant (empty for anonymous/local).
+	Tenant string `json:"tenant,omitempty"`
+	// Shard/Shards are the job's shard coordinates when it runs one
+	// slice of a coordinator-dispatched campaign (Shards > 1); both
+	// absent for whole-campaign jobs.
+	Shard           int `json:"shard,omitempty"`
+	Shards          int `json:"shards,omitempty"`
+	Done            int `json:"done"`
+	Total           int `json:"total"`
+	Resumed         int `json:"resumed,omitempty"`
+	Executed        int `json:"executed,omitempty"`
+	Verified        int `json:"verified,omitempty"`
+	FastPathHits    int `json:"fast_path_hits,omitempty"`
+	ReconvergedHits int `json:"reconverged_hits,omitempty"`
+	FullSimRuns     int `json:"full_sim_runs,omitempty"`
+	ForkedRuns      int `json:"forked_runs,omitempty"`
 	// FaultsPerSec is the live campaign throughput while the job runs
 	// (zero until the first progress sample, and after terminal states).
 	FaultsPerSec float64 `json:"faults_per_sec,omitempty"`
@@ -179,11 +195,12 @@ func rfc3339(t time.Time) string {
 func (j *Job) view() View {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return View{
+	v := View{
 		ID:              j.ID,
 		Status:          j.status,
 		Spec:            j.Spec,
 		SpecHash:        j.SpecHash,
+		Tenant:          j.Tenant,
 		Done:            j.done,
 		Total:           j.total,
 		Resumed:         j.resumed,
@@ -200,6 +217,10 @@ func (j *Job) view() View {
 		StartedAt:       rfc3339(j.started),
 		FinishedAt:      rfc3339(j.finished),
 	}
+	if j.ShardCount > 1 {
+		v.Shard, v.Shards = j.ShardIndex, j.ShardCount
+	}
+	return v
 }
 
 // snapshotEvent renders the job's current state as a stream event.

@@ -69,6 +69,21 @@ type Config struct {
 	// events; anomalies (fork-verify mismatch, checkpoint divergence,
 	// missed detections) auto-dump the ring to its sink.
 	FlightRecorder *obs.FlightRecorder
+	// AuthTokens maps bearer tokens to tenant names. When non-empty,
+	// the mutating endpoints (submit, cancel) require a configured
+	// token and the request runs as its tenant; when empty, auth is
+	// off and every request is the anonymous "" tenant.
+	AuthTokens map[string]string
+	// TenantQuota caps each tenant's active (queued + running) jobs;
+	// 0 means unlimited. A tenant at quota gets 429 at submit.
+	TenantQuota int
+	// RateLimit throttles mutating requests per tenant to this many
+	// per second (token bucket with RateBurst headroom); 0 disables
+	// rate limiting. Exhaustion is a 429 with Retry-After.
+	RateLimit float64
+	// RateBurst is the token bucket's capacity; default 5 when
+	// RateLimit is set.
+	RateBurst int
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +102,9 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.DiscardHandler)
 	}
+	if c.RateLimit > 0 && c.RateBurst <= 0 {
+		c.RateBurst = 5
+	}
 	return c
 }
 
@@ -99,7 +117,9 @@ type Server struct {
 	jobs  map[string]*Job
 	order []string // submission order, for listings
 
-	queue chan *Job
+	queue *fairQueue
+	// limiter throttles mutating requests per tenant (nil = off).
+	limiter *rateLimiter
 	// baseCtx parents every job run; stop cancels it on drain.
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -110,6 +130,8 @@ type Server struct {
 	mSubmitted, mRejected     *metrics.Counter
 	mDone, mFailed, mCanceled *metrics.Counter
 	mRecovered                *metrics.Counter
+	mAuthFail, mRateLimited   *metrics.Counter
+	mQuotaDenied              *metrics.Counter
 	gQueued, gRunning         *metrics.Gauge
 }
 
@@ -140,20 +162,26 @@ func build(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:        cfg,
-		reg:        cfg.Registry,
-		jobs:       make(map[string]*Job),
-		queue:      make(chan *Job, cfg.QueueSize),
-		baseCtx:    ctx,
-		stop:       cancel,
-		mSubmitted: cfg.Registry.Counter(MetricJobsSubmitted),
-		mRejected:  cfg.Registry.Counter(MetricJobsRejected),
-		mDone:      cfg.Registry.Counter(MetricJobsDone),
-		mFailed:    cfg.Registry.Counter(MetricJobsFailed),
-		mCanceled:  cfg.Registry.Counter(MetricJobsCanceled),
-		mRecovered: cfg.Registry.Counter(MetricJobsRecovered),
-		gQueued:    cfg.Registry.Gauge(MetricJobsQueued),
-		gRunning:   cfg.Registry.Gauge(MetricJobsRunning),
+		cfg:          cfg,
+		reg:          cfg.Registry,
+		jobs:         make(map[string]*Job),
+		queue:        newFairQueue(cfg.QueueSize),
+		baseCtx:      ctx,
+		stop:         cancel,
+		mSubmitted:   cfg.Registry.Counter(MetricJobsSubmitted),
+		mRejected:    cfg.Registry.Counter(MetricJobsRejected),
+		mDone:        cfg.Registry.Counter(MetricJobsDone),
+		mFailed:      cfg.Registry.Counter(MetricJobsFailed),
+		mCanceled:    cfg.Registry.Counter(MetricJobsCanceled),
+		mRecovered:   cfg.Registry.Counter(MetricJobsRecovered),
+		mAuthFail:    cfg.Registry.Counter(MetricAuthFailures),
+		mRateLimited: cfg.Registry.Counter(MetricRateLimited),
+		mQuotaDenied: cfg.Registry.Counter(MetricQuotaDenied),
+		gQueued:      cfg.Registry.Gauge(MetricJobsQueued),
+		gRunning:     cfg.Registry.Gauge(MetricJobsRunning),
+	}
+	if cfg.RateLimit > 0 {
+		s.limiter = newRateLimiter(cfg.RateLimit, cfg.RateBurst, nil)
 	}
 	if err := s.recover(); err != nil {
 		cancel()
@@ -200,15 +228,28 @@ func (s *Server) recover() error {
 			return fmt.Errorf("server: job %s: spec hash %s does not match its spec (%s)", js.ID, js.SpecHash, h)
 		}
 		j := newJob(js.ID, spec, parseRFC3339(js.SubmittedAt))
+		j.Tenant = js.Tenant
+		if js.Shards > 1 {
+			j.ShardIndex, j.ShardCount = js.Shard, js.Shards
+		}
 		j.status = Status(js.Status)
 		j.errMsg = js.Error
 		j.finished = parseRFC3339(js.FinishedAt)
 		if js.Status == trace.JobDone {
-			if _, err := os.Stat(trace.JobReportPath(s.cfg.Dir, js.ID)); err != nil {
-				// Crash window between checkpoint finalize and report
-				// write: rebuild it.
+			// A done job's product must still exist: the aggregated
+			// report for a whole-campaign job, the finalized checkpoint
+			// for a coordinator-dispatched shard. A crash between
+			// checkpoint finalize and product write re-enqueues the job;
+			// its checkpoint makes the re-run a pure rebuild.
+			product := trace.JobReportPath(s.cfg.Dir, js.ID)
+			if j.ShardCount > 1 {
+				product = s.checkpointPath(j)
+			}
+			if _, err := os.Stat(product); err != nil {
 				j.status = StatusQueued
 				j.finished = time.Time{}
+			} else if js.Total > 0 {
+				j.done, j.total = js.Done, js.Total
 			} else {
 				j.done, j.total = spec.NumFaults, spec.NumFaults
 			}
@@ -219,16 +260,28 @@ func (s *Server) recover() error {
 			requeue = append(requeue, j)
 		}
 	}
-	if len(requeue) > cap(s.queue) {
-		return fmt.Errorf("server: %d unfinished jobs to recover, queue holds %d — raise QueueSize", len(requeue), cap(s.queue))
+	if len(requeue) > s.queue.cap() {
+		return fmt.Errorf("server: %d unfinished jobs to recover, queue holds %d — raise QueueSize", len(requeue), s.queue.cap())
 	}
 	for _, j := range requeue {
-		s.queue <- j
+		s.queue.push(j)
 		s.gQueued.Add(1)
 		s.mRecovered.Inc()
 		s.jobLog(j.ID).Info("job recovered as queued", "spec", j.SpecHash)
 	}
 	return nil
+}
+
+// checkpointPath returns the job's shard-checkpoint location: keyed by
+// job ID for whole-campaign jobs (the PR-4 layout), and by campaign
+// identity + shard coordinates for coordinator-dispatched shards, so a
+// re-submitted shard resumes the partial checkpoint an earlier attempt
+// left behind (RunShard's skip-and-verify path proves it first).
+func (s *Server) checkpointPath(j *Job) string {
+	if j.ShardCount > 1 {
+		return trace.ShardCheckpointPath(s.cfg.Dir, j.SpecHash, j.ShardIndex, j.ShardCount)
+	}
+	return trace.JobCheckpointPath(s.cfg.Dir, j.ID)
 }
 
 func parseRFC3339(s string) time.Time {
@@ -242,11 +295,13 @@ func parseRFC3339(s string) time.Time {
 	return t
 }
 
-// normalizeSpec applies the service's submission defaults — the same
+// NormalizeSpec applies the service's submission defaults — the same
 // values the faultcampaign CLI defaults its flags to — before the spec
 // is hashed or persisted, so the job's durable identity is the
-// effective spec, never an ambiguous zero.
-func normalizeSpec(spec campaign.Spec) campaign.Spec {
+// effective spec, never an ambiguous zero. Exported so a coordinator
+// dispatching shards normalizes identically and its planned totals and
+// dedupe keys agree with the fleet's.
+func NormalizeSpec(spec campaign.Spec) campaign.Spec {
 	if spec.VCs == 0 {
 		spec.VCs = 4
 	}
@@ -272,51 +327,120 @@ var ErrQueueFull = errors.New("server: job queue is full")
 // errDraining is returned when the daemon is shutting down.
 var errDraining = errors.New("server: draining, not accepting jobs")
 
-// Submit validates, persists and enqueues a new job.
+// SubmitOptions carries a submission's multi-tenant and shard
+// context. The zero value is an anonymous whole-campaign job.
+type SubmitOptions struct {
+	// Tenant is the submitting tenant (resolved by the auth layer).
+	Tenant string
+	// Shard/Shards submit one slice of a larger campaign: the job runs
+	// PlanShard(spec, Shard, Shards) and its product is the finalized
+	// shard checkpoint rather than an aggregated report. Shards <= 1
+	// means a whole-campaign job.
+	Shard  int
+	Shards int
+}
+
+// Submit validates, persists and enqueues a new anonymous
+// whole-campaign job (the pre-multi-tenant API).
 func (s *Server) Submit(spec campaign.Spec) (*Job, error) {
-	spec = normalizeSpec(spec)
+	j, _, err := s.SubmitJob(spec, SubmitOptions{})
+	return j, err
+}
+
+// SubmitJob validates, persists and enqueues a new job. Sharded
+// submissions are idempotent on (spec, shard): when an active or done
+// job for the same shard of the same campaign already exists, that job
+// is returned with existing=true instead of queueing a duplicate —
+// which is what lets a coordinator retry a submit over a flaky link
+// (or re-dispatch after its own restart) without doubling work.
+func (s *Server) SubmitJob(spec campaign.Spec, o SubmitOptions) (j *Job, existing bool, err error) {
+	spec = NormalizeSpec(spec)
 	if err := spec.Validate(); err != nil {
-		return nil, err
+		return nil, false, err
+	}
+	if o.Shards <= 1 {
+		o.Shard, o.Shards = 0, 1
+	} else if o.Shard < 0 || o.Shard >= o.Shards {
+		return nil, false, fmt.Errorf("server: shard index %d outside [0,%d)", o.Shard, o.Shards)
 	}
 	specJSON, err := json.Marshal(&spec)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		return nil, errDraining
+		return nil, false, errDraining
 	}
-	j := newJob(newJobID(), spec, time.Now())
+	specHash := spec.Hash()
+	if o.Shards > 1 {
+		for _, id := range s.order {
+			cand := s.jobs[id]
+			if cand.SpecHash != specHash || cand.ShardIndex != o.Shard || cand.ShardCount != o.Shards {
+				continue
+			}
+			cand.mu.Lock()
+			st := cand.status
+			cand.mu.Unlock()
+			// Failed and canceled attempts do not block a retry; their
+			// partial checkpoint is resumed by the new job.
+			if st == StatusFailed || st == StatusCanceled {
+				continue
+			}
+			s.mu.Unlock()
+			s.jobLog(cand.ID).Info("shard submit deduplicated onto existing job",
+				"spec", specHash, "shard", o.Shard, "shards", o.Shards, "status", st)
+			return cand, true, nil
+		}
+	}
+	if s.cfg.TenantQuota > 0 && s.activeJobsLocked(o.Tenant) >= s.cfg.TenantQuota {
+		s.mu.Unlock()
+		s.mQuotaDenied.Inc()
+		return nil, false, ErrQuotaExceeded
+	}
+	j = newJob(newJobID(), spec, time.Now())
+	j.Tenant = o.Tenant
+	j.ShardIndex, j.ShardCount = o.Shard, o.Shards
+	if o.Shards > 1 {
+		// A shard job's run count is its slice of the universe, not the
+		// whole campaign's (exact once planned; 0 when NumFaults means
+		// "every location" and the universe size is not yet known).
+		lo, hi := campaign.ShardRange(spec.NumFaults, o.Shard, o.Shards)
+		j.total = hi - lo
+	}
 	// The manifest must be durable before the job is visible or
 	// runnable: a daemon killed right after the 201 response still
 	// knows the job on restart.
-	if err := trace.WriteJobState(s.cfg.Dir, &trace.JobState{
+	js := &trace.JobState{
 		ID:          j.ID,
 		Spec:        specJSON,
 		SpecHash:    j.SpecHash,
+		Tenant:      j.Tenant,
 		Status:      trace.JobQueued,
 		SubmittedAt: rfc3339(j.submitted),
-	}); err != nil {
-		s.mu.Unlock()
-		return nil, err
 	}
-	select {
-	case s.queue <- j:
-	default:
+	if o.Shards > 1 {
+		js.Shard, js.Shards = o.Shard, o.Shards
+	}
+	if err := trace.WriteJobState(s.cfg.Dir, js); err != nil {
+		s.mu.Unlock()
+		return nil, false, err
+	}
+	if !s.queue.push(j) {
 		s.mu.Unlock()
 		os.Remove(trace.JobStatePath(s.cfg.Dir, j.ID))
 		s.mRejected.Inc()
-		return nil, ErrQueueFull
+		return nil, false, ErrQueueFull
 	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.mu.Unlock()
 	s.mSubmitted.Inc()
 	s.gQueued.Add(1)
-	s.jobLog(j.ID).Info("job queued", "spec", j.SpecHash, "faults", spec.NumFaults)
-	return j, nil
+	s.jobLog(j.ID).Info("job queued", "spec", j.SpecHash, "faults", spec.NumFaults,
+		"tenant", j.Tenant, "shard", j.ShardIndex, "shards", j.ShardCount)
+	return j, false, nil
 }
 
 // Job returns the job by ID.
@@ -406,15 +530,19 @@ func (s *Server) Stop(ctx context.Context) error {
 	}
 }
 
-// worker pulls jobs off the queue until drain.
+// worker pulls jobs off the queue until drain, parking on the queue's
+// notify channel when it is empty.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
+		if j := s.queue.pop(); j != nil {
+			s.runJob(j)
+			continue
+		}
 		select {
 		case <-s.baseCtx.Done():
 			return
-		case j := <-s.queue:
-			s.runJob(j)
+		case <-s.queue.notify:
 		}
 	}
 }
@@ -509,7 +637,7 @@ func (s *Server) execute(ctx context.Context, j *Job) error {
 // executeShard is execute's body, split out so the job span brackets
 // every exit path.
 func (s *Server) executeShard(ctx context.Context, j *Job, jspan *obs.Span) error {
-	sh, err := campaign.PlanShard(j.Spec, 0, 1)
+	sh, err := campaign.PlanShard(j.Spec, j.ShardIndex, j.ShardCount)
 	if err != nil {
 		return err
 	}
@@ -517,7 +645,7 @@ func (s *Server) executeShard(ctx context.Context, j *Job, jspan *obs.Span) erro
 	if err != nil {
 		return err
 	}
-	ckptPath := trace.JobCheckpointPath(s.cfg.Dir, j.ID)
+	ckptPath := s.checkpointPath(j)
 	cp, completed, err := trace.ResumeCheckpoint(ckptPath, m)
 	if err != nil {
 		return err
@@ -587,6 +715,12 @@ func (s *Server) executeShard(ctx context.Context, j *Job, jspan *obs.Span) erro
 	if err := cp.Close(); err != nil {
 		return err
 	}
+	if j.ShardCount > 1 {
+		// A shard job's product is its finalized checkpoint; the
+		// aggregated report only exists once a coordinator folds every
+		// shard through the merge gate.
+		return nil
+	}
 	return s.writeReport(j, ckptPath)
 }
 
@@ -622,6 +756,11 @@ func (s *Server) persistTerminal(j *Job) {
 		ID:          j.ID,
 		Spec:        specJSON,
 		SpecHash:    v.SpecHash,
+		Tenant:      v.Tenant,
+		Shard:       v.Shard,
+		Shards:      v.Shards,
+		Done:        v.Done,
+		Total:       v.Total,
 		Status:      string(v.Status),
 		Error:       v.Error,
 		SubmittedAt: v.SubmittedAt,

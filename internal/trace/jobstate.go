@@ -49,6 +49,20 @@ type JobState struct {
 	// SpecHash fingerprints the spec; the runner cross-checks it before
 	// resuming the checkpoint under a rebuilt plan.
 	SpecHash string `json:"spec_hash"`
+	// Tenant names the submitter (from the daemon's auth table). Empty
+	// for anonymous/local submissions. Persisted so quota accounting and
+	// fair queueing survive a restart.
+	Tenant string `json:"tenant,omitempty"`
+	// Shard/Shards are the job's shard coordinates when a coordinator
+	// submitted one slice of a larger campaign (Shards > 1). Both zero
+	// for a whole-campaign job, which the runner plans as shard 0/1.
+	Shard  int `json:"shard,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	// Done/Total record the job's final run counts at its terminal
+	// transition, so a restarted daemon can report them without
+	// re-deriving the fault universe.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
 	// Status is the last durable lifecycle point (Job* constants).
 	Status string `json:"status"`
 	// Error carries the failure cause when Status is JobFailed.
@@ -74,6 +88,16 @@ func JobCheckpointPath(dir, id string) string { return filepath.Join(dir, id+".c
 
 // JobReportPath returns the final-report path for job id.
 func JobReportPath(dir, id string) string { return filepath.Join(dir, id+".report.json") }
+
+// ShardCheckpointPath returns the checkpoint path for shard i of n of
+// the campaign fingerprinted by specHash. Unlike JobCheckpointPath it
+// is keyed on the campaign identity rather than the job ID, so a
+// re-submitted shard (a coordinator requeueing work onto a restarted
+// worker) resumes the partial checkpoint an earlier job left behind
+// instead of starting over.
+func ShardCheckpointPath(dir, specHash string, i, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.s%dof%d.ckpt.ndjson", specHash, i, n))
+}
 
 // WriteJobState durably writes the manifest for js.ID in dir: the
 // bytes land in a temp file first and are renamed into place, so a
