@@ -14,7 +14,7 @@ GOLDEN_FLAGS = -mesh 4x4 -vcs 4 -rate 0.12 -seed 3 -inject 300 -post 400 \
 # merge — add tests instead.
 COVER_FLOOR = 85.0
 
-.PHONY: all build fmt vet lint test race cover e2e bench benchcheck ci golden shardcheck
+.PHONY: all build fmt vet lint test race cover e2e bench benchcheck ci golden shardcheck soa-identity build386
 
 all: ci
 
@@ -51,11 +51,13 @@ test: vet
 # The campaign, simulator, metrics, trace and server packages are the
 # concurrent ones (worker pools forking clones, lock-free instrument
 # updates, NDJSON writers, the daemon's queue/worker/event fan-out);
-# run them under the race detector. The campaign package takes several
-# minutes race-enabled.
+# run them under the race detector, plus the step-loop packages (core,
+# router, soa) whose shared-array state campaign workers mutate in
+# parallel. The campaign package takes several minutes race-enabled.
 race:
 	$(GO) test -race ./internal/campaign ./internal/sim ./internal/metrics \
-		./internal/trace ./internal/server ./internal/obs ./internal/coordinator
+		./internal/trace ./internal/server ./internal/obs ./internal/coordinator \
+		./internal/core ./internal/router ./internal/soa
 
 # cover enforces the coverage floor over ./internal/... and leaves the
 # profile in cover.out for inspection (`go tool cover -html=cover.out`).
@@ -106,23 +108,63 @@ bench:
 		-trace-spans .bench-spans.ndjson -flight-recorder .bench-flight.ndjson \
 		-benchname campaign-traced -benchjson BENCH_4x4.json
 	rm -f .bench-spans.ndjson .bench-flight.ndjson
-	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -workers 1 \
+	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -workers 1 -no-soa \
 		-benchname campaign-8x8 -benchjson BENCH_8x8.json
+	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -workers 1 \
+		-benchname campaign-8x8-soa -benchjson BENCH_8x8.json
 
 # benchcheck is the perf regression gate: re-run the serial benchmark
 # campaigns and fail if their faults/sec land >30% below the latest
-# committed "campaign" row in BENCH_4x4.json (resp. "campaign-8x8" in
-# BENCH_8x8.json). Nothing is appended.
+# committed "campaign" row in BENCH_4x4.json (resp. "campaign-8x8" /
+# "campaign-8x8-soa" in BENCH_8x8.json). The campaign-8x8 row keeps
+# measuring the reference engine for trajectory continuity; the
+# campaign-8x8-soa row gates the structure-of-arrays step loop itself.
+# Nothing is appended.
 benchcheck:
 	$(GO) run ./cmd/faultcampaign $(BENCH_FLAGS) -workers 1 \
 		-benchbaseline BENCH_4x4.json
-	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -workers 1 \
+	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -workers 1 -no-soa \
 		-benchname campaign-8x8 -benchbaseline BENCH_8x8.json
+	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -workers 1 \
+		-benchname campaign-8x8-soa -benchbaseline BENCH_8x8.json
 
-# golden regenerates testdata/golden_4x4_seed3.json after an
-# intentional behaviour change; commit the diff it produces.
+# golden regenerates the committed fixtures — the 4×4 and 8×8 record
+# fixtures and the full JSON report fixtures the soa-identity gate
+# compares against — after an intentional behaviour change; commit the
+# diff it produces.
 golden:
 	$(GO) test ./internal/campaign -run TestGoldenFixture -update-golden -v
+	$(GO) run ./cmd/faultcampaign $(GOLDEN_FLAGS) -fig none -progress=false \
+		-json testdata/report_4x4_seed3.json
+	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) \
+		-json testdata/report_8x8_seed3.json
+
+# soa-identity proves the two sweep engines interchangeable: the golden
+# 4×4 and paper-scale 8×8 campaigns run once with the default
+# structure-of-arrays engine and once with -no-soa, and all four JSON
+# reports must be byte-identical to each other and to the committed
+# fixtures. Any sweep-order, skip-condition or mask-maintenance bug
+# fails the cmp.
+soa-identity:
+	rm -rf .soaid && mkdir -p .soaid
+	$(GO) run ./cmd/faultcampaign $(GOLDEN_FLAGS) -fig none -progress=false \
+		-json .soaid/4x4-soa.json
+	$(GO) run ./cmd/faultcampaign $(GOLDEN_FLAGS) -fig none -progress=false \
+		-no-soa -json .soaid/4x4-ref.json
+	cmp .soaid/4x4-soa.json .soaid/4x4-ref.json
+	cmp .soaid/4x4-soa.json testdata/report_4x4_seed3.json
+	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -json .soaid/8x8-soa.json
+	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -no-soa -json .soaid/8x8-ref.json
+	cmp .soaid/8x8-soa.json .soaid/8x8-ref.json
+	cmp .soaid/8x8-soa.json testdata/report_8x8_seed3.json
+	rm -rf .soaid
+
+# build386 is a build-only cross-compile of the whole module for a
+# 32-bit target: the SoA state uses explicitly sized element types
+# (int32/uint32/uint64), and this catches any accidental dependence on
+# 64-bit int.
+build386:
+	GOARCH=386 $(GO) build ./...
 
 # shardcheck reproduces the CI merge gate locally: run the golden
 # campaign as 4 independent shards, merge the checkpoints, and require

@@ -35,6 +35,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -76,6 +77,8 @@ func main() {
 		noFork    = flag.Bool("no-fork", false, "disable injection-point forking (every run simulates its full [0,injection) prefix)")
 		snapInt   = flag.Int64("snapshot-interval", 0, "golden snapshot spacing in cycles (0 = adaptive from the universe's injection-cycle histogram)")
 		noFF      = flag.Bool("no-fastforward", false, "disable frozen-state fast-forwarding of deadlocked drains and idle ForEVeR horizons")
+		noSoA     = flag.Bool("no-soa", false, "use the reference sweep engine (full-range VC sweeps, no inert-router skip); results are byte-identical to the default structure-of-arrays engine")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		progress  = flag.Bool("progress", true, "print campaign progress to stderr")
 		telAddr   = flag.String("telemetry", "", "serve live telemetry on this address (pprof at /debug/pprof/, expvar at /debug/vars, metrics at /metricsz, OpenMetrics at /metrics)")
 		traceOut  = flag.String("trace", "", "stream one NDJSON record per completed fault run to this file")
@@ -104,8 +107,24 @@ func main() {
 	}
 	rc := nocalert.DefaultRouterConfig(mesh)
 	rc.VCs = *vcs
-	simCfg := nocalert.SimConfig{Router: rc, InjectionRate: *rate, Seed: *seed}
+	simCfg := nocalert.SimConfig{Router: rc, InjectionRate: *rate, Seed: *seed, DisableSoA: *noSoA}
 	params := nocalert.FaultParamsFor(&rc)
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*figs, ",") {
@@ -233,6 +252,7 @@ func main() {
 			DisableFork:          *noFork,
 			SnapshotInterval:     *snapInt,
 			DisableFastForward:   *noFF,
+			DisableSoA:           *noSoA,
 			VerifyResumed:        *verifyN,
 			Tracer:               tracer,
 			FlightRecorder:       flightRec,

@@ -5,11 +5,17 @@ import (
 	"flag"
 	"os"
 	"testing"
+	"time"
+
+	"nocalert/internal/trace"
 )
 
-var updateGolden = flag.Bool("update-golden", false, "regenerate testdata/golden_4x4_seed3.json")
+var updateGolden = flag.Bool("update-golden", false, "regenerate the testdata/golden_*.json fixtures")
 
-const goldenPath = "../../testdata/golden_4x4_seed3.json"
+const (
+	goldenPath    = "../../testdata/golden_4x4_seed3.json"
+	goldenPath8x8 = "../../testdata/golden_8x8_seed3.json"
+)
 
 // GoldenSpec is the campaign the committed fixture pins: the standard
 // 4x4 test configuration with a 96-fault universe (24 per CI shard).
@@ -69,5 +75,94 @@ func TestGoldenFixture4x4(t *testing.T) {
 			t.Error(d)
 		}
 		t.Fatalf("%d fault(s) drifted from the golden fixture; if intentional, run `make golden` and commit", len(diffs))
+	}
+}
+
+// Golden8x8Spec is the paper-scale pinned campaign: the 8×8 mesh at
+// the throughput benchmark's operating point. Its fixture is what the
+// soa-identity CI gate and the SoA bench row both anchor to.
+func Golden8x8Spec() Spec {
+	return Spec{
+		MeshW: 8, MeshH: 8, VCs: 4,
+		InjectionRate: 0.05,
+		Seed:          3,
+		InjectCycle:   300,
+		PostInjectRun: 500,
+		DrainDeadline: 10000,
+		Epoch:         1500,
+		HopLatency:    1,
+		NumFaults:     64,
+	}
+}
+
+// TestGoldenFixture8x8 is TestGoldenFixture4x4 at paper scale.
+func TestGoldenFixture8x8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	spec := Golden8x8Spec()
+	got := NewFixture(spec, unshardedRecords(t, spec))
+
+	if *updateGolden {
+		f, err := os.Create(goldenPath8x8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d records)", goldenPath8x8, len(got.Records))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath8x8)
+	if err != nil {
+		t.Fatalf("no golden fixture (run `make golden` to create it): %v", err)
+	}
+	golden, err := ReadFixture(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := golden.Diff(got); len(diffs) != 0 {
+		for _, d := range diffs {
+			t.Error(d)
+		}
+		t.Fatalf("%d fault(s) drifted from the golden fixture; if intentional, run `make golden` and commit", len(diffs))
+	}
+}
+
+// TestGoldenEngineIdentity runs the golden 4×4 campaign once per sweep
+// engine and requires record-for-record identical results: verdicts,
+// outcomes, detection latencies and checker attributions must not move
+// when the reference engine replaces the SoA engine. This is the
+// in-tree half of the soa-identity CI gate (the CI half compares the
+// CLI's whole JSON reports byte-for-byte on both mesh sizes).
+func TestGoldenEngineIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	spec := GoldenSpec()
+	soa := NewFixture(spec, unshardedRecords(t, spec))
+
+	opts := spec.Options()
+	opts.Sim.DisableSoA = true
+	opts.Faults = spec.Universe()
+	recs := make([]trace.RunRecord, len(opts.Faults))
+	opts.OnResult = func(i int, res *RunResult, wall time.Duration, exit ExitPath) {
+		recs[i] = RecordFor(i, res, wall, exit == ExitFastPath)
+	}
+	if _, err := Run(opts); err != nil {
+		t.Fatal(err)
+	}
+	ref := NewFixture(spec, recs)
+
+	if diffs := soa.Diff(ref); len(diffs) != 0 {
+		for _, d := range diffs {
+			t.Error(d)
+		}
+		t.Fatalf("%d fault(s) differ between the SoA and reference engines", len(diffs))
 	}
 }

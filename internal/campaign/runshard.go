@@ -42,6 +42,10 @@ type ShardRunOptions struct {
 	// DisableFastForward turns off frozen-state fast-forwarding (see
 	// Options.DisableFastForward). Result-invisible either way.
 	DisableFastForward bool
+	// DisableSoA selects the reference sweep engine for every simulated
+	// network (see sim.Config.DisableSoA). Result-invisible either way —
+	// the soa-identity CI gate holds this to byte-identical reports.
+	DisableSoA bool
 	// Progress, when non-nil, is invoked after each newly executed run
 	// with the shard-level completion count (resumed runs included), the
 	// shard's total run count and a snapshot of the running stats (for
@@ -234,6 +238,7 @@ func RunShard(sh *Shard, cp *trace.Checkpoint, completed []trace.RunRecord, o Sh
 	opts.DisableFork = o.DisableFork
 	opts.SnapshotInterval = o.SnapshotInterval
 	opts.DisableFastForward = o.DisableFastForward
+	opts.Sim.DisableSoA = o.DisableSoA
 	opts.Metrics = o.Metrics
 	opts.Context = ctx
 	opts.Tracer = o.Tracer

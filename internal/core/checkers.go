@@ -351,9 +351,16 @@ func (e *Engine) checkBuffers(s *router.Signals) {
 	// must hold a mutually consistent configuration every cycle. These
 	// are the checks that catch single-event upsets in the state
 	// registers themselves — corruption that would otherwise strand a
-	// packet without ever producing an illegal *operation*.
+	// packet without ever producing an illegal *operation*. The sweep
+	// walks the snapshot's activity masks word-at-a-time instead of
+	// every VC: a free, empty VC (the overwhelming majority each cycle)
+	// satisfies all four checks vacuously, and the mask is computed from
+	// the same post-fault snapshot values the checks consume, so the
+	// sparse sweep flags exactly what the full sweep would.
 	for p := 0; p < router.P; p++ {
-		for v := range s.Pre.In[p] {
+		for w := s.Pre.Active[p]; !w.IsZero(); {
+			var v int
+			v, w = w.NextBit()
 			pre := &s.Pre.In[p][v]
 			st := pre.State
 			if !st.Valid() {

@@ -28,6 +28,10 @@ func sig(cfg *router.Config, id int, cycle int64) *router.Signals {
 // distinct checkers that fired.
 func run(t *testing.T, cfg *router.Config, s *router.Signals) map[CheckerID]bool {
 	t.Helper()
+	// Hand-built records don't maintain the activity masks inline the way
+	// BeginCycle does; rebuild them so the sparse buffer sweep sees the
+	// injected anomaly.
+	s.Pre.RecomputeActive()
 	e := NewEngine(cfg, Options{KeepViolations: true})
 	e.RouterCycle(nil, s)
 	e.EndCycle(s.Cycle)

@@ -1,70 +1,65 @@
 package router
 
 import (
-	"nocalert/internal/arbiter"
 	"nocalert/internal/fault"
 	"nocalert/internal/flit"
+	"nocalert/internal/soa"
 )
 
 // Clone returns a deep copy of the router using the given fault plane
-// (nil for a fault-free continuation). The copy shares only the
-// immutable configuration with the original. Cloning is only meaningful
-// at a cycle boundary — after the network has collected departures and
-// credits — when the per-cycle staging areas are empty; campaigns rely
-// on this to fork thousands of faulty continuations from one warmed
-// network.
+// (nil for a fault-free continuation). The copy is backed by a private
+// single-router SoA state and shares only the immutable configuration
+// with the original. Cloning is only meaningful at a cycle boundary —
+// after the network has collected departures and credits — when the
+// per-cycle staging areas are empty; campaigns rely on this to fork
+// thousands of faulty continuations from one warmed network.
 func (r *Router) Clone(plane *fault.Plane) *Router {
 	return r.CloneInto(nil, plane, nil)
 }
 
-// CloneInto is Clone reusing dst's allocations: buffers, arbiters and
-// signal-record slices from a previous clone of the same router are
+// CloneInto is Clone reusing dst's allocations: buffers, the SoA window
+// and signal-record slices from a previous clone of the same router are
 // adopted instead of reallocated, and buffered flits are copied through
 // the optional arena. dst must be a previous CloneInto/Clone product of
-// this router (the same configuration and port set) or nil, in which
-// case a fresh copy is allocated. Campaign workers use this to pay the
-// 64-router allocation storm once per worker rather than once per
-// fault.
+// this router or a NewCloneTarget shell of the same configuration (the
+// network binds fork targets to the fork's shared state this way), or
+// nil, in which case a fresh private-state copy is allocated. Campaign
+// workers use this to pay the 64-router allocation storm once per
+// worker rather than once per fault.
 func (r *Router) CloneInto(dst *Router, plane *fault.Plane, ar *flit.Arena) *Router {
 	c := dst
 	if c == nil {
-		c = &Router{}
-		c.sig.Pre.init(r.cfg)
+		st := soa.NewState(soa.Layout{R: 1, P: P, V: r.cfg.VCs})
+		c = NewCloneTarget(r.cfg, st.View(0))
 	}
 	c.id, c.x, c.y, c.cfg = r.id, r.x, r.y, r.cfg
 	c.crMask, c.vcClass = r.crMask, r.vcClass
 	c.hasPort = r.hasPort
 	c.plane = plane
-	c.va1WinnerReg = r.va1WinnerReg
-	c.stCol = r.stCol
-	c.readEn = r.readEn
-	c.stOut = r.stOut
-	c.stSpec = r.stSpec
+	c.sweepRef = r.sweepRef
+	// The whole register file — VC status tables, credits, ST latches,
+	// arbiter pointers, activity masks — is a handful of bulk copies.
+	c.st.CopyFrom(r.st)
 	c.creditsOut = c.creditsOut[:0]
 	for p := 0; p < P; p++ {
 		if !r.hasPort[p] {
 			continue
 		}
 		r.in[p].cloneInto(&c.in[p], r.cfg.BufDepth, ar)
-		c.out[p].vcs = append(c.out[p].vcs[:0], r.out[p].vcs...)
-		c.va1[p] = arbiter.Reclone(c.va1[p], r.va1[p])
-		c.sa1[p] = arbiter.Reclone(c.sa1[p], r.sa1[p])
-		c.va2[p] = arbiter.Reclone(c.va2[p], r.va2[p])
-		c.sa2[p] = arbiter.Reclone(c.sa2[p], r.sa2[p])
 		if f := r.arriving[p]; f != nil {
 			c.arriving[p] = ar.CloneOf(f)
 		} else {
 			c.arriving[p] = nil
 		}
-		c.creditIn[p] = r.creditIn[p]
 	}
 	return c
 }
 
-// cloneInto deep-copies the input port into dst, reusing dst's VC and
-// buffer slices where capacity allows.
+// cloneInto deep-copies the input port's pointer residue (flit buffers
+// and read/write latches) into dst, reusing dst's VC and buffer slices
+// where capacity allows. The scalar registers travel with the SoA bulk
+// copy instead.
 func (ip *inputPort) cloneInto(dst *inputPort, depth int, ar *flit.Arena) {
-	dst.sa1WinnerReg = ip.sa1WinnerReg
 	if cap(dst.vcs) < len(ip.vcs) {
 		dst.vcs = make([]inVC, len(ip.vcs))
 	}

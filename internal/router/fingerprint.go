@@ -1,39 +1,50 @@
 package router
 
-import "nocalert/internal/statehash"
+import (
+	"nocalert/internal/soa"
+	"nocalert/internal/statehash"
+)
 
 // FoldState folds every piece of the router's mutable architectural
 // state into a state-fingerprint accumulator. The enumeration mirrors
 // CloneInto exactly — anything a clone must copy, the fingerprint must
 // cover — so two routers of the same configuration whose folds agree
-// step identically given identical inputs. Like cloning, folding is
-// only meaningful at a cycle boundary, when the per-cycle staging
-// (sig, creditsOut) is dead and deliberately excluded.
+// step identically given identical inputs. Both sweep engines share
+// this storage and this fold, which is what makes the lockstep
+// differential test's per-cycle fingerprint comparison meaningful.
+// Like cloning, folding is only meaningful at a cycle boundary, when
+// the per-cycle staging (sig, creditsOut) is dead and deliberately
+// excluded. The activity masks (NonIdle, Occupied) are derived state —
+// functions of the registers folded here — and are excluded for the
+// same reason.
 func (r *Router) FoldState(h uint64) uint64 {
+	st := &r.st
 	for p := 0; p < P; p++ {
-		h = statehash.FoldInt(h, r.va1WinnerReg[p])
-		h = statehash.Fold(h, uint64(r.stCol[p]))
-		h = statehash.FoldBool(h, r.readEn[p])
-		h = statehash.FoldInt(h, r.stOut[p])
-		h = statehash.FoldBool(h, r.stSpec[p])
+		h = statehash.FoldInt(h, int(st.VA1Win[p]))
+		h = statehash.Fold(h, uint64(st.StCol[p]))
+		h = statehash.FoldBool(h, st.StFlags[p]&soa.StReadEn != 0)
+		h = statehash.FoldInt(h, int(st.StOut[p]))
+		h = statehash.FoldBool(h, st.StFlags[p]&soa.StSpec != 0)
 	}
 	for p := 0; p < P; p++ {
 		if !r.hasPort[p] {
 			continue
 		}
 		ip := &r.in[p]
-		h = statehash.FoldInt(h, ip.sa1WinnerReg)
+		base := p * st.V
+		h = statehash.FoldInt(h, int(st.SA1Win[p]))
 		for i := range ip.vcs {
 			v := &ip.vcs[i]
+			ri := base + i
 			h = statehash.FoldInt(h, len(v.buf))
 			for _, f := range v.buf {
 				h = f.FoldState(h)
 			}
-			h = statehash.Fold(h, uint64(v.state))
-			h = statehash.FoldInt(h, v.route)
-			h = statehash.FoldInt(h, v.outVC)
-			h = statehash.Fold(h, v.pktID)
-			h = statehash.FoldInt(h, v.arrived)
+			h = statehash.Fold(h, uint64(st.VCState[ri]))
+			h = statehash.FoldInt(h, int(st.VCRoute[ri]))
+			h = statehash.FoldInt(h, int(st.VCOutVC[ri]))
+			h = statehash.Fold(h, st.PktID[ri])
+			h = statehash.FoldInt(h, int(st.Arrived[ri]))
 			// lastRead/lastWritten contents are architectural: a read
 			// strobe on an empty buffer replays lastRead (garbage read),
 			// and the mixing rule consults lastWritten.
@@ -46,18 +57,18 @@ func (r *Router) FoldState(h uint64) uint64 {
 				h = v.lastWritten.FoldState(h)
 			}
 		}
-		for i := range r.out[p].vcs {
-			ov := &r.out[p].vcs[i]
-			h = statehash.FoldBool(h, ov.free)
-			h = statehash.FoldInt(h, ov.credits)
-			h = statehash.FoldBool(h, ov.tailSent)
+		for i := 0; i < r.cfg.VCs; i++ {
+			fl := st.OutFlags[base+i]
+			h = statehash.FoldBool(h, fl&soa.OutFree != 0)
+			h = statehash.FoldInt(h, int(st.Credits[base+i]))
+			h = statehash.FoldBool(h, fl&soa.OutTailSent != 0)
 		}
-		h = r.va1[p].FoldState(h)
-		h = r.sa1[p].FoldState(h)
-		h = r.va2[p].FoldState(h)
-		h = r.sa2[p].FoldState(h)
+		h = statehash.FoldInt(h, int(st.VA1Next[p]))
+		h = statehash.FoldInt(h, int(st.SA1Next[p]))
+		h = statehash.FoldInt(h, int(st.VA2Next[p]))
+		h = statehash.FoldInt(h, int(st.SA2Next[p]))
 		h = r.arriving[p].FoldState(h)
-		h = statehash.Fold(h, uint64(r.creditIn[p]))
+		h = statehash.Fold(h, uint64(st.CreditIn[p]))
 	}
 	return h
 }

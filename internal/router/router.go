@@ -3,10 +3,10 @@ package router
 import (
 	"fmt"
 
-	"nocalert/internal/arbiter"
 	"nocalert/internal/bitvec"
 	"nocalert/internal/fault"
 	"nocalert/internal/flit"
+	"nocalert/internal/soa"
 	"nocalert/internal/topology"
 )
 
@@ -19,9 +19,13 @@ type CreditOut struct {
 	VC   int
 }
 
-// Router is one five-stage pipelined NoC router. All mutable state is
-// reachable from the struct and deep-copied by Clone, which is what
-// lets fault campaigns fork thousands of runs from one warmed network.
+// Router is one five-stage pipelined NoC router. Its architectural
+// registers live in a structure-of-arrays window (st, see internal/soa)
+// shared with the whole network; the struct itself keeps only the
+// pointer-typed residue (flit buffers, read/write latches, per-cycle
+// staging). All mutable state is reachable from the struct plus the
+// window and deep-copied by Clone, which is what lets fault campaigns
+// fork thousands of runs from one warmed network.
 type Router struct {
 	id   int
 	x, y int
@@ -31,54 +35,59 @@ type Router struct {
 	// both consulted for every VC every cycle, and cheap enough to
 	// precompute once in New rather than re-derive (BitsFor and the
 	// ClassOfVC divisions showed up in campaign profiles).
-	crMask  int
+	crMask  int32
 	vcClass [MaxVCs]int
 
 	hasPort [P]bool
 	in      [P]inputPort
-	out     [P]outputPort
 
-	va1 [P]arbiter.Arbiter // local VA arbiters, per input port
-	sa1 [P]arbiter.Arbiter // local SA arbiters, per input port
-	va2 [P]arbiter.Arbiter // global VA arbiters, per output port
-	sa2 [P]arbiter.Arbiter // global SA arbiters, per output port
-
-	// va1WinnerReg latches each input port's most recent VA1 winner;
-	// like sa1WinnerReg it is sticky, so a faulted VA2 grant to a port
-	// with no fresh VA1 win drives a stale VC — the hardware-accurate
-	// failure mode.
-	va1WinnerReg [P]int
-
-	// Switch-traversal pipeline latches, written by SA at cycle t and
-	// consumed by the crossbar at t+1.
-	stCol  [P]bitvec.Vec // per output port: granted input rows
-	readEn [P]bool       // per input port: read enable
-	stOut  [P]int        // per input port: intended output port
-	stSpec [P]bool       // per input port: grant was speculative
+	// st is this router's window into the flat register file: VC status
+	// tables, credit counters, ST latches, arbiter priority pointers and
+	// the NonIdle/Occupied masks the fast sweeps iterate.
+	st soa.View
 
 	plane *fault.Plane
 	// planeLive caches plane.LiveAt for the current cycle (set in
 	// BeginCycle) so the 20+ per-cycle fault consults cost one branch
 	// when no fault window is open.
 	planeLive bool
+	// sweepRef forces the reference full-VC-range sweeps in SA/VA/RC
+	// (the -no-soa engine); fastSweep, recomputed each BeginCycle, is
+	// true when the mask-driven sparse sweeps are in effect this cycle.
+	// The two engines share storage and per-register semantics — only
+	// the iteration sets differ, and the masks make them provably equal.
+	sweepRef  bool
+	fastSweep bool
 
 	// Per-cycle staging filled by the network before Evaluate.
 	arriving [P]*flit.Flit
-	creditIn [P]bitvec.Vec
 
 	sig        Signals
 	creditsOut []CreditOut
 }
 
-// New constructs the router for node id of the configured mesh. The
-// plane may be nil for fault-free operation.
+// New constructs a standalone router for node id of the configured mesh,
+// backed by a private single-router SoA state. The plane may be nil for
+// fault-free operation. Networks bind their routers to one shared state
+// via NewInState instead.
 func New(id int, cfg *Config, plane *fault.Plane) *Router {
+	st := soa.NewState(soa.Layout{R: 1, P: P, V: cfg.VCs})
+	return NewInState(id, cfg, plane, st.View(0))
+}
+
+// NewInState constructs the router for node id bound to the given SoA
+// window (st must be the router's own view of a state sized for this
+// configuration).
+func NewInState(id int, cfg *Config, plane *fault.Plane, st soa.View) *Router {
 	if err := cfg.Validate(); err != nil {
 		panic(fmt.Sprintf("router: %v", err))
 	}
-	r := &Router{id: id, cfg: cfg, plane: plane}
+	if st.P != P || st.V != cfg.VCs {
+		panic(fmt.Sprintf("router: state window %dx%d does not fit config %dx%d", st.P, st.V, P, cfg.VCs))
+	}
+	r := &Router{id: id, cfg: cfg, plane: plane, st: st}
 	r.x, r.y = cfg.Mesh.Coords(id)
-	r.crMask = 1<<fault.BitsFor(cfg.BufDepth) - 1
+	r.crMask = int32(1<<fault.BitsFor(cfg.BufDepth) - 1)
 	for v := 0; v < cfg.VCs; v++ {
 		r.vcClass[v] = cfg.ClassOfVC(v)
 	}
@@ -90,23 +99,27 @@ func New(id int, cfg *Config, plane *fault.Plane) *Router {
 		r.hasPort[p] = true
 		r.in[p].vcs = make([]inVC, cfg.VCs)
 		for v := range r.in[p].vcs {
-			r.in[p].vcs[v].reset()
+			r.resetVC(p, v)
 			r.in[p].vcs[v].buf = make([]*flit.Flit, 0, cfg.BufDepth)
+			i := p*st.V + v
+			st.Credits[i] = int32(cfg.BufDepth)
+			st.OutFlags[i] = soa.OutFree
 		}
-		r.out[p].vcs = make([]outVCState, cfg.VCs)
-		for v := range r.out[p].vcs {
-			r.out[p].vcs[v] = outVCState{free: true, credits: cfg.BufDepth}
-		}
-		r.va1[p] = arbiter.NewRoundRobin(cfg.VCs)
-		r.sa1[p] = arbiter.NewRoundRobin(cfg.VCs)
-		r.va2[p] = arbiter.NewRoundRobin(P)
-		r.sa2[p] = arbiter.NewRoundRobin(P)
 	}
-	for p := range r.stOut {
-		r.stOut[p] = -1
+	for p := 0; p < P; p++ {
+		st.StOut[p] = -1
 	}
 	r.sig.Pre.init(cfg)
 	return r
+}
+
+// NewCloneTarget returns an empty router shell bound to the given SoA
+// window, suitable only as a CloneInto destination. Networks use it to
+// pre-bind a fork target's routers to the fork's shared state.
+func NewCloneTarget(cfg *Config, st soa.View) *Router {
+	c := &Router{cfg: cfg, st: st}
+	c.sig.Pre.init(cfg)
+	return c
 }
 
 func (pre *Pre) init(cfg *Config) {
@@ -128,6 +141,12 @@ func (r *Router) HasPort(d topology.Direction) bool { return r.hasPort[int(d)] }
 // SetPlane replaces the fault plane (used when forking campaign runs).
 func (r *Router) SetPlane(p *fault.Plane) { r.plane = p }
 
+// SetReferenceSweep selects the reference engine: full VC-range sweeps
+// every cycle instead of the mask-driven sparse sweeps. The two engines
+// produce identical behaviour — the CI identity gate proves it — so this
+// exists as the -no-soa escape hatch and as the lockstep test's baseline.
+func (r *Router) SetReferenceSweep(on bool) { r.sweepRef = on }
+
 // Signals returns the current cycle's signal record. The record is
 // valid until the next BeginCycle.
 func (r *Router) Signals() *Signals { return &r.sig }
@@ -148,7 +167,86 @@ func (r *Router) StageArrival(d topology.Direction, f *flit.Flit) {
 
 // StageCredit presents a returning credit for VC vc of output port d.
 func (r *Router) StageCredit(d topology.Direction, vc int) {
-	r.creditIn[int(d)] = r.creditIn[int(d)].Set(vc)
+	r.st.CreditIn[int(d)] |= 1 << uint(vc)
+}
+
+// Inert reports whether stepping this router would change no state and
+// produce an all-vacuous signal record: every VC idle and empty, no
+// crossbar reservation or read enable pending, no staged arrivals or
+// credits. The check is a word-at-a-time OR over the per-port masks.
+// Only meaningful when the fault plane has no open window — a live
+// fault can perturb even an idle router — and a skipped router's
+// per-cycle staging (Signals, Credits) goes stale, so the network must
+// skip its link-traversal and monitor visits too.
+func (r *Router) Inert() bool {
+	var acc uint32
+	for p := 0; p < P; p++ {
+		acc |= r.st.NonIdle[p] | r.st.Occupied[p] | r.st.StCol[p] | r.st.CreditIn[p] | uint32(r.st.StFlags[p])
+		if r.arriving[p] != nil {
+			return false
+		}
+	}
+	return acc == 0
+}
+
+// ---- SoA register helpers ----
+
+// iv returns the flat index of (port, vc) in the per-(port,vc) arrays.
+func (r *Router) iv(p, v int) int { return p*r.st.V + v }
+
+// setVCState writes the state register and maintains the NonIdle mask —
+// the single funnel for every state transition, which is what keeps the
+// mask exact for the sparse sweeps and the inert check.
+func (r *Router) setVCState(p, v int, s VCState) {
+	r.st.VCState[r.iv(p, v)] = uint8(s)
+	if s == VCIdle {
+		r.st.NonIdle[p] &^= 1 << uint(v)
+	} else {
+		r.st.NonIdle[p] |= 1 << uint(v)
+	}
+}
+
+// resetVC returns the VC status registers to their free-VC values.
+func (r *Router) resetVC(p, v int) {
+	i := r.iv(p, v)
+	r.setVCState(p, v, VCIdle)
+	r.st.VCRoute[i] = rawInvalidDir
+	r.st.VCOutVC[i] = 0
+	r.st.PktID[i] = 0
+	r.st.Arrived[i] = 0
+}
+
+// push appends a flit to (p,v)'s buffer and maintains the write latch
+// and the Occupied mask; the caller has already checked capacity policy
+// (an overflowing write drops the flit instead).
+func (r *Router) push(p, v int, f *flit.Flit) {
+	vc := &r.in[p].vcs[v]
+	vc.buf = append(vc.buf, f)
+	vc.lastWritten = *f
+	vc.hasLastWritten = true
+	r.st.Occupied[p] |= 1 << uint(v)
+}
+
+// pop removes and returns (p,v)'s head flit, maintaining the read latch
+// and the Occupied mask. On an empty buffer it returns a clone of the
+// stale lastRead flit (garbage read) or nil if nothing was ever read.
+func (r *Router) pop(p, v int) (f *flit.Flit, garbage bool) {
+	vc := &r.in[p].vcs[v]
+	if len(vc.buf) == 0 {
+		if !vc.hasLastRead {
+			return nil, true
+		}
+		return vc.lastRead.Clone(), true
+	}
+	f = vc.buf[0]
+	copy(vc.buf, vc.buf[1:])
+	vc.buf = vc.buf[:len(vc.buf)-1]
+	if len(vc.buf) == 0 {
+		r.st.Occupied[p] &^= 1 << uint(v)
+	}
+	vc.lastRead = *f
+	vc.hasLastRead = true
+	return f, false
 }
 
 // ---- faulted register read path ----
@@ -176,7 +274,7 @@ func (r *Router) fVec(cycle int64, kind fault.Kind, port, vc int, value uint32) 
 // The four register readers below each split into a thin wrapper and
 // an outlined fault path: the wrapper is small enough to inline into
 // the phase loops, and on the overwhelming majority of cycles — no
-// fault window open — it reduces to a plain field load. The raw reads
+// fault window open — it reduces to a plain array load. The raw reads
 // skip the readers' masks, which is safe because every write site
 // stores masked values (see applyRegisterUpsets and the phase code).
 
@@ -184,12 +282,12 @@ func (r *Router) vcStateR(cycle int64, p, v int) VCState {
 	if r.planeLive {
 		return r.vcStateFaulted(cycle, p, v)
 	}
-	return r.in[p].vcs[v].state
+	return VCState(r.st.VCState[p*r.st.V+v])
 }
 
 //go:noinline
 func (r *Router) vcStateFaulted(cycle int64, p, v int) VCState {
-	raw := r.plane.Word(cycle, r.id, fault.VCStateReg, p, v, int(r.in[p].vcs[v].state))
+	raw := r.plane.Word(cycle, r.id, fault.VCStateReg, p, v, int(r.st.VCState[r.iv(p, v)]))
 	return VCState(raw & 7)
 }
 
@@ -197,38 +295,38 @@ func (r *Router) vcRouteR(cycle int64, p, v int) int {
 	if r.planeLive {
 		return r.vcRouteFaulted(cycle, p, v)
 	}
-	return r.in[p].vcs[v].route
+	return int(r.st.VCRoute[p*r.st.V+v])
 }
 
 //go:noinline
 func (r *Router) vcRouteFaulted(cycle int64, p, v int) int {
-	return r.plane.Word(cycle, r.id, fault.VCRouteReg, p, v, r.in[p].vcs[v].route) & (1<<DirWidth - 1)
+	return r.plane.Word(cycle, r.id, fault.VCRouteReg, p, v, int(r.st.VCRoute[r.iv(p, v)])) & (1<<DirWidth - 1)
 }
 
 func (r *Router) vcOutVCR(cycle int64, p, v int) int {
 	if r.planeLive {
 		return r.vcOutVCFaulted(cycle, p, v)
 	}
-	return r.in[p].vcs[v].outVC
+	return int(r.st.VCOutVC[p*r.st.V+v])
 }
 
 //go:noinline
 func (r *Router) vcOutVCFaulted(cycle int64, p, v int) int {
-	return r.plane.Word(cycle, r.id, fault.VCOutVCReg, p, v, r.in[p].vcs[v].outVC) & (MaxVCs - 1)
+	return r.plane.Word(cycle, r.id, fault.VCOutVCReg, p, v, int(r.st.VCOutVC[r.iv(p, v)])) & (MaxVCs - 1)
 }
 
-func (r *Router) creditMask() int { return r.crMask }
+func (r *Router) creditMask() int32 { return r.crMask }
 
 func (r *Router) creditR(cycle int64, o, v int) int {
 	if r.planeLive {
 		return r.creditFaulted(cycle, o, v)
 	}
-	return r.out[o].vcs[v].credits
+	return int(r.st.Credits[o*r.st.V+v])
 }
 
 //go:noinline
 func (r *Router) creditFaulted(cycle int64, o, v int) int {
-	return r.plane.Word(cycle, r.id, fault.CreditCountReg, o, v, r.out[o].vcs[v].credits) & r.crMask
+	return r.plane.Word(cycle, r.id, fault.CreditCountReg, o, v, int(r.st.Credits[r.iv(o, v)])) & int(r.crMask)
 }
 
 // ---- cycle evaluation ----
@@ -239,6 +337,7 @@ func (r *Router) creditFaulted(cycle int64, o, v int) int {
 // same view the hardware checkers have).
 func (r *Router) BeginCycle(cycle int64) {
 	r.planeLive = r.plane.LiveAt(cycle)
+	r.fastSweep = !r.sweepRef && !r.planeLive
 	r.applyRegisterUpsets(cycle)
 	r.sig.reset(r.id, cycle)
 	r.creditsOut = r.creditsOut[:0]
@@ -247,7 +346,9 @@ func (r *Router) BeginCycle(cycle int64) {
 			continue
 		}
 		ins, preIn := r.in[p].vcs, r.sig.Pre.In[p]
-		outs, preOut := r.out[p].vcs, r.sig.Pre.Out[p]
+		preOut := r.sig.Pre.Out[p]
+		base := p * r.st.V
+		var act bitvec.Vec
 		for v := range ins {
 			vc := &ins[v]
 			// Fill the snapshot in place rather than building a PreVC on
@@ -258,8 +359,8 @@ func (r *Router) BeginCycle(cycle int64) {
 			pv.Route = r.vcRouteR(cycle, p, v)
 			pv.OutVC = r.vcOutVCR(cycle, p, v)
 			pv.BufLen = len(vc.buf)
-			pv.Arrived = vc.arrived
-			pv.PktID = vc.pktID
+			pv.Arrived = int(r.st.Arrived[base+v])
+			pv.PktID = r.st.PktID[base+v]
 			if h := vc.head(); h != nil {
 				pv.HasHead = true
 				pv.HeadKind = h.Kind
@@ -271,12 +372,19 @@ func (r *Router) BeginCycle(cycle int64) {
 				pv.HeadPkt = 0
 				pv.Class = r.vcClass[v]
 			}
-			ovc := &outs[v]
+			// The activity mask is computed from the snapshot values
+			// themselves (post-fault), so the checkers' sparse sweep over
+			// it is exact even when a faulted read dresses up an idle VC.
+			if pv.State != VCIdle || pv.BufLen > 0 {
+				act = act.Set(v)
+			}
 			po := &preOut[v]
-			po.Free = ovc.free
+			fl := r.st.OutFlags[base+v]
+			po.Free = fl&soa.OutFree != 0
 			po.Credits = r.creditR(cycle, p, v)
-			po.TailSent = ovc.tailSent
+			po.TailSent = fl&soa.OutTailSent != 0
 		}
+		r.sig.Pre.Active[p] = act
 	}
 }
 
@@ -290,19 +398,16 @@ func (r *Router) applyRegisterUpsets(cycle int64) {
 			continue
 		}
 		bit := 1 << uint(f.Bit)
+		i := r.iv(s.Port, s.VC)
 		switch s.Kind {
 		case fault.VCStateReg:
-			vc := &r.in[s.Port].vcs[s.VC]
-			vc.state = VCState((int(vc.state) ^ bit) & 7)
+			r.setVCState(s.Port, s.VC, VCState((int(r.st.VCState[i])^bit)&7))
 		case fault.VCRouteReg:
-			vc := &r.in[s.Port].vcs[s.VC]
-			vc.route = (vc.route ^ bit) & (1<<DirWidth - 1)
+			r.st.VCRoute[i] = uint8((int(r.st.VCRoute[i]) ^ bit) & (1<<DirWidth - 1))
 		case fault.VCOutVCReg:
-			vc := &r.in[s.Port].vcs[s.VC]
-			vc.outVC = (vc.outVC ^ bit) & (MaxVCs - 1)
+			r.st.VCOutVC[i] = uint8((int(r.st.VCOutVC[i]) ^ bit) & (MaxVCs - 1))
 		case fault.CreditCountReg:
-			ovc := &r.out[s.Port].vcs[s.VC]
-			ovc.credits = (ovc.credits ^ bit) & r.creditMask()
+			r.st.Credits[i] = (r.st.Credits[i] ^ int32(bit)) & r.crMask
 		}
 	}
 }
@@ -332,19 +437,20 @@ func (r *Router) phaseBW(cycle int64) {
 			r.arriving[p] = nil
 			r.writeFlit(cycle, p, f)
 		}
-		cin := r.fVec(cycle, fault.CreditSig, p, -1, uint32(r.creditIn[p]))
-		r.creditIn[p] = 0
+		cin := r.fVec(cycle, fault.CreditSig, p, -1, r.st.CreditIn[p])
+		r.st.CreditIn[p] = 0
 		vec := bitvec.Vec(cin) & bitvec.Mask(r.cfg.VCs)
 		r.sig.CreditsIn[p] = vec
+		base := p * r.st.V
 		for w := vec; !w.IsZero(); {
 			var v int
 			v, w = w.NextBit()
-			ovc := &r.out[p].vcs[v]
-			ovc.credits = (ovc.credits + 1) & r.creditMask()
-			if ovc.tailSent && !ovc.free && ovc.credits >= r.cfg.BufDepth {
+			i := base + v
+			r.st.Credits[i] = (r.st.Credits[i] + 1) & r.crMask
+			fl := r.st.OutFlags[i]
+			if fl&soa.OutTailSent != 0 && fl&soa.OutFree == 0 && int(r.st.Credits[i]) >= r.cfg.BufDepth {
 				// Wormhole fully drained downstream: recycle the VC.
-				ovc.free = true
-				ovc.tailSent = false
+				r.st.OutFlags[i] = (fl | soa.OutFree) &^ soa.OutTailSent
 			}
 		}
 	}
@@ -367,11 +473,12 @@ func (r *Router) writeFlit(cycle int64, p int, f *flit.Flit) {
 		v, w = w.NextBit()
 		i++
 		vc := &r.in[p].vcs[v]
+		ri := r.iv(p, v)
 		t := WriteTarget{
 			VC:          v,
 			FullBefore:  vc.full(r.cfg.BufDepth),
 			StateBefore: r.vcStateR(cycle, p, v),
-			ResidentPkt: vc.pktID,
+			ResidentPkt: r.st.PktID[ri],
 		}
 		if vc.hasLastWritten {
 			t.HasPrev = true
@@ -384,23 +491,23 @@ func (r *Router) writeFlit(cycle int64, p int, f *flit.Flit) {
 				// addressed buffer — spontaneous flit duplication.
 				stored = f.Clone()
 			}
-			vc.push(stored)
+			r.push(p, v, stored)
 			if stored.Kind.IsHead() {
-				vc.arrived = 1
-				if vc.state == VCIdle {
-					vc.state = VCRouting
-					vc.pktID = stored.PacketID
-					vc.route = rawInvalidDir
-					vc.outVC = 0
+				r.st.Arrived[ri] = 1
+				if VCState(r.st.VCState[ri]) == VCIdle {
+					r.setVCState(p, v, VCRouting)
+					r.st.PktID[ri] = stored.PacketID
+					r.st.VCRoute[ri] = rawInvalidDir
+					r.st.VCOutVC[ri] = 0
 				}
 				// A header landing on a busy VC is an atomicity breach;
 				// the resident wormhole's registers are left in place and
 				// the interloper mixes in behind it.
 			} else {
-				vc.arrived++
+				r.st.Arrived[ri]++
 			}
 		}
-		t.ArrivedAfter = vc.arrived
+		t.ArrivedAfter = int(r.st.Arrived[ri])
 		arr.Targets = append(arr.Targets, t)
 	}
 	r.sig.Arrivals = append(r.sig.Arrivals, arr)
@@ -413,16 +520,15 @@ func (r *Router) phaseST(cycle int64) {
 	var rowFlit [P]*flit.Flit
 	var rowGarbage [P]bool
 	for p := 0; p < P; p++ {
-		if !r.hasPort[p] || !r.readEn[p] {
+		if !r.hasPort[p] || r.st.StFlags[p]&soa.StReadEn == 0 {
 			continue
 		}
-		r.readEn[p] = false
-		intended := r.stOut[p]
-		r.stOut[p] = -1
-		spec := r.stSpec[p]
-		r.stSpec[p] = false
+		intended := int(r.st.StOut[p])
+		spec := r.st.StFlags[p]&soa.StSpec != 0
+		r.st.StFlags[p] = 0
+		r.st.StOut[p] = -1
 
-		vcSel := r.in[p].sa1WinnerReg
+		vcSel := int(r.st.SA1Win[p])
 		nullified := false
 		if spec {
 			// Commit check for a speculative grant: VA must have
@@ -435,8 +541,8 @@ func (r *Router) phaseST(cycle int64) {
 					r.sig.XbarSpecNull = r.sig.XbarSpecNull.Set(intended)
 				}
 			} else {
-				o := &r.out[intended].vcs[ovc]
-				o.credits = (o.credits - 1) & r.creditMask()
+				i := r.iv(intended, ovc)
+				r.st.Credits[i] = (r.st.Credits[i] - 1) & r.crMask
 			}
 		}
 		var strobe bitvec.Vec
@@ -450,11 +556,10 @@ func (r *Router) phaseST(cycle int64) {
 		for w := strobe; !w.IsZero(); {
 			var v int
 			v, w = w.NextBit()
-			vc := &r.in[p].vcs[v]
-			if vc.empty() {
+			if r.in[p].vcs[v].empty() {
 				emptyBits = emptyBits.Set(v)
 			}
-			f, garbage := vc.pop()
+			f, garbage := r.pop(p, v)
 			if f == nil {
 				continue // nothing was ever read from this buffer
 			}
@@ -484,8 +589,8 @@ func (r *Router) phaseST(cycle int64) {
 		if !r.hasPort[o] {
 			continue
 		}
-		col := r.stCol[o]
-		r.stCol[o] = 0
+		col := bitvec.Vec(r.st.StCol[o])
+		r.st.StCol[o] = 0
 		col = bitvec.Vec(r.fVec(cycle, fault.XbarSel, o, -1, uint32(col))) & bitvec.Mask(P)
 		r.sig.XbarCol[o] = col
 		took := false
@@ -525,21 +630,31 @@ func (r *Router) phaseST(cycle int64) {
 
 // teardown recycles an input VC after its tail flit departs.
 func (r *Router) teardown(p, v, intendedOut int, tail *flit.Flit) {
-	vc := &r.in[p].vcs[v]
 	if intendedOut >= 0 && r.hasPort[intendedOut] && tail.VC < r.cfg.VCs {
-		r.out[intendedOut].vcs[tail.VC].tailSent = true
+		r.st.OutFlags[r.iv(intendedOut, tail.VC)] |= soa.OutTailSent
 	}
 	if !r.cfg.AtomicVC {
-		if h := vc.head(); h != nil && h.Kind.IsHead() {
+		if h := r.in[p].vcs[v].head(); h != nil && h.Kind.IsHead() {
 			// The next packet is already buffered; restart its pipeline.
-			vc.state = VCRouting
-			vc.pktID = h.PacketID
-			vc.route = rawInvalidDir
-			vc.outVC = 0
+			i := r.iv(p, v)
+			r.setVCState(p, v, VCRouting)
+			r.st.PktID[i] = h.PacketID
+			r.st.VCRoute[i] = rawInvalidDir
+			r.st.VCOutVC[i] = 0
 			return
 		}
 	}
-	vc.reset()
+	r.resetVC(p, v)
+}
+
+// sweepMask returns the candidate-VC iteration set for the allocation
+// sweeps: in fast-sweep mode the maintained activity mask (exact — see
+// the phase comments), in reference mode every VC.
+func (r *Router) sweepMask(fast bitvec.Vec) bitvec.Vec {
+	if r.fastSweep {
+		return fast
+	}
+	return bitvec.Mask(r.cfg.VCs)
 }
 
 // phaseSA runs the separable switch allocation: SA1 picks one VC per
@@ -555,9 +670,13 @@ func (r *Router) phaseSA(cycle int64) {
 		}
 		var req bitvec.Vec
 		var specBits bitvec.Vec
-		for v := 0; v < r.cfg.VCs; v++ {
-			vc := &r.in[p].vcs[v]
-			if vc.empty() {
+		// SA requests need a non-empty VC in the Active (or, speculatively,
+		// WaitingVA) state: exactly the Occupied∩NonIdle mask when the
+		// stored registers are the read values (no open fault window).
+		for w := r.sweepMask(bitvec.Vec(r.st.Occupied[p] & r.st.NonIdle[p])); !w.IsZero(); {
+			var v int
+			v, w = w.NextBit()
+			if r.in[p].vcs[v].empty() {
 				continue
 			}
 			st := r.vcStateR(cycle, p, v)
@@ -582,13 +701,13 @@ func (r *Router) phaseSA(cycle int64) {
 			}
 		}
 		req = bitvec.Vec(r.fVec(cycle, fault.SA1Req, p, -1, uint32(req))) & bitvec.Mask(r.cfg.VCs)
-		gnt := r.sa1[p].Arbitrate(req)
+		gnt := rrArbitrate(req, r.cfg.VCs, &r.st.SA1Next[p])
 		gnt = bitvec.Vec(r.fVec(cycle, fault.SA1Gnt, p, -1, uint32(gnt))) & bitvec.Mask(r.cfg.VCs)
 		r.sig.SA1[p] = ReqGnt{Req: req, Gnt: gnt}
 		if w := gnt.First(); w >= 0 {
 			sa1win[p] = w
 			sa1spec[p] = specBits.Get(w)
-			r.in[p].sa1WinnerReg = w
+			r.st.SA1Win[p] = int32(w)
 		}
 	}
 	for o := 0; o < P; o++ {
@@ -606,24 +725,29 @@ func (r *Router) phaseSA(cycle int64) {
 			}
 		}
 		req = bitvec.Vec(r.fVec(cycle, fault.SA2Req, o, -1, uint32(req))) & bitvec.Mask(P)
-		gnt := r.sa2[o].Arbitrate(req)
+		gnt := rrArbitrate(req, P, &r.st.SA2Next[o])
 		gnt = bitvec.Vec(r.fVec(cycle, fault.SA2Gnt, o, -1, uint32(gnt))) & bitvec.Mask(P)
 		r.sig.SA2[o] = ReqGnt{Req: req, Gnt: gnt}
 		if gnt.IsZero() {
 			continue
 		}
-		r.stCol[o] = gnt
+		r.st.StCol[o] = uint32(gnt)
 		for w := gnt; !w.IsZero(); {
 			var p int
 			p, w = w.NextBit()
 			if !r.hasPort[p] {
 				continue
 			}
-			r.readEn[p] = true
-			r.stOut[p] = o
-			vcSel := r.in[p].sa1WinnerReg
-			spec := sa1win[p] == vcSel && sa1spec[p]
-			r.stSpec[p] = spec
+			spec := sa1win[p] == int(r.st.SA1Win[p]) && sa1spec[p]
+			fl := r.st.StFlags[p] | soa.StReadEn
+			if spec {
+				fl |= soa.StSpec
+			} else {
+				fl &^= soa.StSpec
+			}
+			r.st.StFlags[p] = fl
+			r.st.StOut[p] = int32(o)
+			vcSel := int(r.st.SA1Win[p])
 			ovc := r.vcOutVCR(cycle, p, vcSel)
 			latch := SALatch{OutPort: o, InPort: p, InVC: vcSel, OutVC: ovc, Speculative: spec}
 			if ovc < r.cfg.VCs {
@@ -631,8 +755,8 @@ func (r *Router) phaseSA(cycle int64) {
 				if !spec {
 					// Reserve the downstream slot now; the datapath
 					// follows next cycle.
-					s := &r.out[o].vcs[ovc]
-					s.credits = (s.credits - 1) & r.creditMask()
+					i := r.iv(o, ovc)
+					r.st.Credits[i] = (r.st.Credits[i] - 1) & r.crMask
 				}
 			}
 			r.sig.SALatches = append(r.sig.SALatches, latch)
@@ -651,18 +775,22 @@ func (r *Router) phaseVA(cycle int64) {
 			continue
 		}
 		var req bitvec.Vec
-		for v := 0; v < r.cfg.VCs; v++ {
+		// VA1 requests come from VCs in the WaitingVA state, a subset of
+		// the NonIdle mask by construction.
+		for w := r.sweepMask(bitvec.Vec(r.st.NonIdle[p])); !w.IsZero(); {
+			var v int
+			v, w = w.NextBit()
 			if r.vcStateR(cycle, p, v) == VCWaitingVA {
 				req = req.Set(v)
 			}
 		}
 		req = bitvec.Vec(r.fVec(cycle, fault.VA1Req, p, -1, uint32(req))) & bitvec.Mask(r.cfg.VCs)
-		gnt := r.va1[p].Arbitrate(req)
+		gnt := rrArbitrate(req, r.cfg.VCs, &r.st.VA1Next[p])
 		gnt = bitvec.Vec(r.fVec(cycle, fault.VA1Gnt, p, -1, uint32(gnt))) & bitvec.Mask(r.cfg.VCs)
 		r.sig.VA1[p] = ReqGnt{Req: req, Gnt: gnt}
 		if w := gnt.First(); w >= 0 {
 			va1win[p] = w
-			r.va1WinnerReg[p] = w
+			r.st.VA1Win[p] = int32(w)
 		}
 	}
 	for o := 0; o < P; o++ {
@@ -686,7 +814,7 @@ func (r *Router) phaseVA(cycle int64) {
 			req = req.Set(p)
 		}
 		req = bitvec.Vec(r.fVec(cycle, fault.VA2Req, o, -1, uint32(req))) & bitvec.Mask(P)
-		gnt := r.va2[o].Arbitrate(req)
+		gnt := rrArbitrate(req, P, &r.st.VA2Next[o])
 		gnt = bitvec.Vec(r.fVec(cycle, fault.VA2Gnt, o, -1, uint32(gnt))) & bitvec.Mask(P)
 		r.sig.VA2[o] = ReqGnt{Req: req, Gnt: gnt}
 		for gw := gnt; !gw.IsZero(); {
@@ -695,7 +823,7 @@ func (r *Router) phaseVA(cycle int64) {
 			if !r.hasPort[p] {
 				continue
 			}
-			w := r.va1WinnerReg[p] // stale when the grant was faulted in
+			w := int(r.st.VA1Win[p]) // stale when the grant was faulted in
 			chosen := r.freeOutVC(o, r.classOf(p, w))
 			code := rawInvalidDir // garbage encoding when no VC was free
 			if chosen >= 0 {
@@ -704,15 +832,14 @@ func (r *Router) phaseVA(cycle int64) {
 			code = r.fWord(cycle, fault.VA2OutVC, o, -1, code) & (MaxVCs - 1)
 			assign := VAAssign{OutPort: o, InPort: p, InVC: w, OutVC: code}
 			if code < r.cfg.VCs {
-				tgt := &r.out[o].vcs[code]
-				assign.TargetFree = tgt.free
+				i := r.iv(o, code)
+				assign.TargetFree = r.st.OutFlags[i]&soa.OutFree != 0
 				assign.TargetCredits = r.creditR(cycle, o, code)
-				tgt.free = false
-				tgt.tailSent = false
+				r.st.OutFlags[i] &^= soa.OutFree | soa.OutTailSent
 			}
-			vc := &r.in[p].vcs[w]
-			vc.outVC = code
-			vc.state = VCActive
+			i := r.iv(p, w)
+			r.st.VCOutVC[i] = uint8(code)
+			r.setVCState(p, w, VCActive)
 			r.sig.VAAssigns = append(r.sig.VAAssigns, assign)
 		}
 	}
@@ -738,8 +865,9 @@ func (r *Router) classOf(p, v int) int {
 // or -1.
 func (r *Router) freeOutVC(o, class int) int {
 	lo, hi := r.cfg.VCRange(class)
+	base := o * r.st.V
 	for v := lo; v < hi; v++ {
-		if r.out[o].vcs[v].free {
+		if r.st.OutFlags[base+v]&soa.OutFree != 0 {
 			return v
 		}
 	}
@@ -755,7 +883,10 @@ func (r *Router) phaseRC(cycle int64) {
 		if !r.hasPort[p] {
 			continue
 		}
-		for v := 0; v < r.cfg.VCs; v++ {
+		// Routing-state VCs are a subset of the NonIdle mask.
+		for w := r.sweepMask(bitvec.Vec(r.st.NonIdle[p])); !w.IsZero(); {
+			var v int
+			v, w = w.NextBit()
 			if r.vcStateR(cycle, p, v) != VCRouting {
 				continue
 			}
@@ -787,8 +918,8 @@ func (r *Router) execRC(cycle int64, p, v int) {
 	dir := r.pickCandidate(cands)
 	code := int(dir) & (1<<DirWidth - 1)
 	code = r.fWord(cycle, fault.RCOutDir, p, -1, code) & (1<<DirWidth - 1)
-	vc.route = code
-	vc.state = VCWaitingVA
+	r.st.VCRoute[r.iv(p, v)] = uint8(code)
+	r.setVCState(p, v, VCWaitingVA)
 	r.sig.RCExecs = append(r.sig.RCExecs, RCExec{
 		Port: p, VC: v, HasHead: hasHead, HeadKind: kind,
 		DestX: dx, DestY: dy, TrueDestX: trueDX, TrueDestY: trueDY, OutDir: code,
@@ -815,8 +946,9 @@ func (r *Router) pickCandidate(cands []topology.Direction) topology.Direction {
 			continue
 		}
 		free := 0
-		for v := range r.out[o].vcs {
-			if r.out[o].vcs[v].free {
+		base := o * r.st.V
+		for v := 0; v < r.cfg.VCs; v++ {
+			if r.st.OutFlags[base+v]&soa.OutFree != 0 {
 				free++
 			}
 		}
@@ -826,4 +958,31 @@ func (r *Router) pickCandidate(cands []topology.Direction) topology.Direction {
 		}
 	}
 	return best
+}
+
+// rrArbitrate is the router's round-robin arbiter as a pure function
+// over an SoA priority pointer: bit-identical to
+// arbiter.RoundRobin.Arbitrate (the client after the most recent winner
+// has highest priority; zero requests leave the pointer untouched).
+func rrArbitrate(req bitvec.Vec, width int, next *int32) bitvec.Vec {
+	req &= bitvec.Mask(width)
+	if req.IsZero() {
+		return 0
+	}
+	n := int(*next)
+	for i := 0; i < width; i++ {
+		idx := n + i
+		if idx >= width {
+			idx -= width
+		}
+		if req.Get(idx) {
+			nn := idx + 1
+			if nn >= width {
+				nn = 0
+			}
+			*next = int32(nn)
+			return bitvec.New(idx)
+		}
+	}
+	return 0 // unreachable: req is non-zero within width
 }

@@ -161,6 +161,28 @@ type PreOutVC struct {
 type Pre struct {
 	In  [P][]PreVC
 	Out [P][]PreOutVC
+	// Active[p] has bit v set when In[p][v] snapshots anything other
+	// than a free, empty VC (State != Idle or BufLen > 0). BeginCycle
+	// computes it from the snapshot values themselves (post-fault), so
+	// sweeps over these masks see every VC the invariance checks could
+	// possibly flag: a free empty VC can violate none of the stored-form
+	// invariances regardless of its route/outVC residue.
+	Active [P]bitvec.Vec
+}
+
+// RecomputeActive rebuilds the Active masks from the snapshot values.
+// The simulator maintains the masks inline during BeginCycle; this
+// exists for tests that assemble a Pre by hand.
+func (pre *Pre) RecomputeActive() {
+	for p := 0; p < P; p++ {
+		var m bitvec.Vec
+		for v := range pre.In[p] {
+			if pre.In[p][v].State != VCIdle || pre.In[p][v].BufLen > 0 {
+				m = m.Set(v)
+			}
+		}
+		pre.Active[p] = m
+	}
 }
 
 // Signals is everything observable about one router in one cycle: the

@@ -1,0 +1,225 @@
+package router
+
+import (
+	"testing"
+
+	"nocalert/internal/fault"
+	"nocalert/internal/statehash"
+	"nocalert/internal/topology"
+)
+
+// busyRouter drives the center router of a 3×3 mesh with a few packets
+// across distinct input ports and returns it mid-flight at the given
+// cycle boundary.
+func busyRouter(t *testing.T, cycles int64) (*Router, int64) {
+	t.Helper()
+	g := newRig(t, nil)
+	dest := g.r.Config().Mesh.NodeAt(2, 1)
+	for i, dir := range []topology.Direction{topology.Local, topology.West, topology.North} {
+		fl := g.packet(uint64(i+1), dest, 4)
+		fl[0].VC = i
+		g.r.StageArrival(dir, fl[0])
+	}
+	for c := int64(0); c < cycles; c++ {
+		g.step()
+	}
+	return g.r, g.cycle
+}
+
+// drainLockstep steps both routers with no further input, comparing
+// state folds at every boundary; they must stay identical to the end.
+func drainLockstep(t *testing.T, a, b *Router, from int64, n int64) {
+	t.Helper()
+	for c := from; c < from+n; c++ {
+		a.BeginCycle(c)
+		a.Evaluate(c)
+		b.BeginCycle(c)
+		b.Evaluate(c)
+		if af, bf := a.FoldState(statehash.Seed), b.FoldState(statehash.Seed); af != bf {
+			t.Fatalf("cycle %d: folds diverged (%#x vs %#x)", c, af, bf)
+		}
+	}
+}
+
+// TestCloneFoldIdentity pins the clone/fold contract at router
+// granularity: a mid-flight router and its clone agree on FoldState,
+// keep agreeing while both drain, and the clone's storage does not
+// alias the original's.
+func TestCloneFoldIdentity(t *testing.T) {
+	r, cyc := busyRouter(t, 3)
+	c := r.Clone(nil)
+	if c.ID() != r.ID() {
+		t.Fatalf("clone id %d", c.ID())
+	}
+	if rf, cf := r.FoldState(statehash.Seed), c.FoldState(statehash.Seed); rf != cf {
+		t.Fatalf("clone fold differs before any step (%#x vs %#x)", rf, cf)
+	}
+	drainLockstep(t, r, c, cyc, 20)
+	// Mutating the clone must not reach back into the original.
+	before := r.FoldState(statehash.Seed)
+	c.st.Credits[0] += 3
+	c.st.VCState[1] ^= 1
+	if r.FoldState(statehash.Seed) != before {
+		t.Fatal("clone aliases the original's register file")
+	}
+}
+
+// TestCloneIntoReuse: CloneInto into a previous product reuses its
+// storage and still reproduces the source exactly; a NewCloneTarget
+// shell bound to an external state window works the same way.
+func TestCloneIntoReuse(t *testing.T) {
+	r, cyc := busyRouter(t, 2)
+	dst := r.CloneInto(nil, nil, nil)
+	// Re-fork from a later boundary into the same target.
+	for c := cyc; c < cyc+2; c++ {
+		r.BeginCycle(c)
+		r.Evaluate(c)
+	}
+	cyc += 2
+	dst = r.CloneInto(dst, nil, nil)
+	if rf, df := r.FoldState(statehash.Seed), dst.FoldState(statehash.Seed); rf != df {
+		t.Fatalf("re-fork fold differs (%#x vs %#x)", rf, df)
+	}
+	drainLockstep(t, r, dst, cyc, 20)
+}
+
+// TestInertSkipIsNoOp: a drained router reports Inert, stepping it
+// anyway changes nothing (the skip's soundness), and any staged input
+// — an arrival or a returning credit — clears the condition.
+func TestInertSkipIsNoOp(t *testing.T) {
+	g := newRig(t, nil)
+	if !g.r.Inert() {
+		t.Fatal("fresh router not inert")
+	}
+	dest := g.r.Config().Mesh.NodeAt(2, 1)
+	fl := g.packet(1, dest, 2)
+	fl[0].VC = 0
+	g.r.StageArrival(topology.Local, fl[0])
+	if g.r.Inert() {
+		t.Fatal("router inert with a staged arrival")
+	}
+	g.step()
+	fl[1].VC = 0
+	g.r.StageArrival(topology.Local, fl[1])
+	for i := 0; i < 30 && !g.r.Inert(); i++ {
+		g.step()
+	}
+	if !g.r.Inert() {
+		t.Fatal("router never drained to inert")
+	}
+	before := g.r.FoldState(statehash.Seed)
+	g.step()
+	g.step()
+	if g.r.FoldState(statehash.Seed) != before {
+		t.Fatal("stepping an inert router changed its state")
+	}
+	g.r.StageCredit(topology.East, 1)
+	if g.r.Inert() {
+		t.Fatal("router inert with a staged credit")
+	}
+}
+
+// TestReferenceSweepIdentity: the reference engine (full-range sweeps)
+// and the SoA engine (mask-driven sweeps) hold identical state folds
+// and produce identical departures/credits cycle by cycle on the same
+// input stream.
+func TestReferenceSweepIdentity(t *testing.T) {
+	mk := func(ref bool) *rig {
+		g := newRig(t, nil)
+		g.r.SetReferenceSweep(ref)
+		dest := g.r.Config().Mesh.NodeAt(2, 1)
+		for i, dir := range []topology.Direction{topology.Local, topology.West, topology.South} {
+			fl := g.packet(uint64(i+1), dest, 4)
+			fl[0].VC = i % g.r.Config().VCs
+			g.r.StageArrival(dir, fl[0])
+		}
+		return g
+	}
+	a, b := mk(true), mk(false)
+	for c := 0; c < 30; c++ {
+		da, db := a.step(), b.step()
+		if len(da) != len(db) {
+			t.Fatalf("cycle %d: %d vs %d departures", c, len(da), len(db))
+		}
+		if la, lb := len(a.r.Credits()), len(b.r.Credits()); la != lb {
+			t.Fatalf("cycle %d: %d vs %d credits", c, la, lb)
+		}
+		if af, bf := a.r.FoldState(statehash.Seed), b.r.FoldState(statehash.Seed); af != bf {
+			t.Fatalf("cycle %d: engine folds diverged (%#x vs %#x)", c, af, bf)
+		}
+	}
+}
+
+// TestRegisterUpsetsApply: transient register flips through every
+// register kind must land in the SoA arrays (the fold moves) and keep
+// the router steppable; wire faults exercise the faulted read paths.
+func TestRegisterUpsetsApply(t *testing.T) {
+	regs := []fault.Kind{fault.VCStateReg, fault.VCRouteReg, fault.VCOutVCReg, fault.CreditCountReg}
+	for _, k := range regs {
+		t.Run(k.String(), func(t *testing.T) {
+			r, cyc := busyRouter(t, 2)
+			before := r.FoldState(statehash.Seed)
+			w := 3
+			if k == fault.CreditCountReg {
+				w = fault.BitsFor(r.Config().BufDepth)
+			}
+			p := fault.NewPlane(fault.Fault{
+				Site: fault.Site{Router: r.ID(), Kind: k, Port: int(topology.Local), VC: 0, Width: w},
+				Bit:  0, Cycle: cyc, Type: fault.Transient,
+			})
+			r.SetPlane(p)
+			r.BeginCycle(cyc)
+			r.Evaluate(cyc)
+			if r.FoldState(statehash.Seed) == before {
+				t.Fatalf("%v upset left the fold unchanged", k)
+			}
+			for c := cyc + 1; c < cyc+20; c++ {
+				r.BeginCycle(c)
+				r.Evaluate(c)
+			}
+		})
+	}
+	// A permanent wire fault keeps the plane live, forcing every read
+	// through the faulted path while the router keeps operating.
+	wires := []fault.Kind{fault.RCOutDir, fault.VA1Gnt, fault.SA2Req, fault.CreditSig, fault.BufRead}
+	for _, k := range wires {
+		t.Run(k.String(), func(t *testing.T) {
+			r, cyc := busyRouter(t, 1)
+			p := fault.NewPlane(fault.Fault{
+				Site: fault.Site{Router: r.ID(), Kind: k, Port: int(topology.East), VC: -1, Width: 3},
+				Bit:  0, Cycle: cyc, Type: fault.Permanent,
+			})
+			r.SetPlane(p)
+			for c := cyc; c < cyc+20; c++ {
+				r.BeginCycle(c)
+				r.Evaluate(c)
+			}
+		})
+	}
+}
+
+// TestSignalTelemetryAccessors covers the aggregate signal views the
+// metrics monitor consumes, on a cycle with real contention.
+func TestSignalTelemetryAccessors(t *testing.T) {
+	r, cyc := busyRouter(t, 2)
+	r.BeginCycle(cyc)
+	r.Evaluate(cyc)
+	s := r.Signals()
+	if s.BufferOccupancy() == 0 {
+		t.Fatal("no buffered flits on a busy router")
+	}
+	// Three packets racing for one output port: someone must stall in
+	// at least one allocation stage across the window.
+	stalls := s.VAStalls() + s.SAStalls()
+	for c := cyc + 1; c < cyc+4; c++ {
+		r.BeginCycle(c)
+		r.Evaluate(c)
+		stalls += r.Signals().VAStalls() + r.Signals().SAStalls()
+	}
+	if stalls == 0 {
+		t.Fatal("no allocation stalls under 3-way contention")
+	}
+	if s.LinkFlits() < 0 {
+		t.Fatal("negative link flits")
+	}
+}

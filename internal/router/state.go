@@ -44,26 +44,15 @@ func (s VCState) String() string {
 	return fmt.Sprintf("VCState(%d)", uint8(s))
 }
 
-// inVC is one input virtual channel: a FIFO flit buffer plus the state,
-// route and output-VC registers of the paper's VC status table
-// (Figure 2b).
+// inVC is one input virtual channel's pointer-typed residue: the FIFO
+// flit buffer and the read/write latches. The scalar registers of the
+// paper's VC status table (state, route, outVC, pktID, arrived) live in
+// the network's structure-of-arrays state (internal/soa), windowed by
+// Router.st — that is what lets the per-cycle sweeps walk flat arrays
+// and campaign forks bulk-copy the register file.
 type inVC struct {
 	// buf is the FIFO buffer; buf[0] is the head.
 	buf []*flit.Flit
-	// state is the pipeline state register.
-	state VCState
-	// route is the stored RC result (output direction register). It
-	// holds a raw 3-bit code, possibly corrupted to an illegal value.
-	route int
-	// outVC is the stored VA result: the downstream VC identifier, a
-	// raw VCIDWidth-bit code.
-	outVC int
-	// pktID is the packet currently owning the VC (architectural
-	// bookkeeping, not a hardware register).
-	pktID uint64
-	// arrived counts the flits of the current packet that entered this
-	// VC; invariance 28 compares it against the class's fixed length.
-	arrived int
 	// lastRead snapshots the most recently read flit as of read time. A
 	// read strobe hitting an empty buffer returns stale storage, not
 	// blanks — the mechanism by which the paper says "a new flit may be
@@ -93,40 +82,6 @@ func (v *inVC) head() *flit.Flit {
 	return v.buf[0]
 }
 
-// pop removes and returns the head flit. On an empty buffer it returns
-// a clone of the stale lastRead flit (garbage read) or nil if nothing
-// was ever read.
-func (v *inVC) pop() (f *flit.Flit, garbage bool) {
-	if len(v.buf) == 0 {
-		if !v.hasLastRead {
-			return nil, true
-		}
-		return v.lastRead.Clone(), true
-	}
-	f = v.buf[0]
-	copy(v.buf, v.buf[1:])
-	v.buf = v.buf[:len(v.buf)-1]
-	v.lastRead = *f
-	v.hasLastRead = true
-	return f, false
-}
-
-// push appends a flit; the caller has already checked capacity policy
-// (an overflowing write drops the flit instead).
-func (v *inVC) push(f *flit.Flit) {
-	v.buf = append(v.buf, f)
-	v.lastWritten = *f
-	v.hasLastWritten = true
-}
-
-func (v *inVC) reset() {
-	v.state = VCIdle
-	v.route = rawInvalidDir
-	v.outVC = 0
-	v.pktID = 0
-	v.arrived = 0
-}
-
 // rawInvalidDir is the reset value of the route register: an encoding
 // outside the legal 0–4 range so that stale routes are distinguishable.
 const rawInvalidDir = 7
@@ -134,32 +89,7 @@ const rawInvalidDir = 7
 // inputPort is one input port: VCs VCs sharing one physical channel via
 // a demultiplexer (writes) and a multiplexer (reads), which is why at
 // most one flit may enter or leave the port per cycle (invariances
-// 29–31).
+// 29–31). The SA1 winner latch lives in the SoA state (Router.st.SA1Win).
 type inputPort struct {
 	vcs []inVC
-	// sa1WinnerReg latches the VC index of the most recent SA1 winner.
-	// It is deliberately sticky: if SA2 selects this port without a
-	// fresh SA1 win (possible only under faults), the stale value
-	// drives the read mux — the garbage-read path the paper describes.
-	sa1WinnerReg int
-}
-
-// outVCState is the per-output-VC bookkeeping of credit-based flow
-// control: whether the downstream VC is allocated, how many buffer
-// slots remain, and whether the current packet's tail has departed.
-type outVCState struct {
-	// free reports the downstream VC unallocated (available to VA).
-	free bool
-	// credits is the credit counter register (downstream slots).
-	credits int
-	// tailSent records that the resident packet's tail has been sent;
-	// the VC is recycled once every credit has returned, preserving
-	// downstream buffer atomicity.
-	tailSent bool
-}
-
-// outputPort is one output port: the credit state of the downstream
-// VCs plus the VA2/SA2 arbiters' home.
-type outputPort struct {
-	vcs []outVCState
 }

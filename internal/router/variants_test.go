@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"nocalert/internal/flit"
+	"nocalert/internal/soa"
 	"nocalert/internal/topology"
 )
 
@@ -49,7 +50,7 @@ func TestSpeculativeNullification(t *testing.T) {
 	r := New(4, &cfg, nil)
 	// Fill every East output VC so VA cannot complete.
 	for v := 0; v < cfg.VCs; v++ {
-		r.out[int(topology.East)].vcs[v].free = false
+		r.st.OutFlags[int(topology.East)*r.st.V+v] &^= soa.OutFree
 	}
 	dest := cfg.Mesh.NodeAt(2, 1)
 	p := &flit.Packet{ID: 1, Src: 4, Dest: dest, Length: 1}

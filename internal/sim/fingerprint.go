@@ -1,6 +1,9 @@
 package sim
 
-import "nocalert/internal/statehash"
+import (
+	"nocalert/internal/soa"
+	"nocalert/internal/statehash"
+)
 
 // foldState folds the NI's mutable state into a state-fingerprint
 // accumulator. The enumeration mirrors cloneInto exactly: queued
@@ -16,11 +19,11 @@ func (ni *NI) foldState(h uint64) uint64 {
 	for _, f := range ni.cur {
 		h = f.FoldState(h)
 	}
-	for i := range ni.outVCs {
-		v := &ni.outVCs[i]
-		h = statehash.FoldBool(h, v.free)
-		h = statehash.FoldInt(h, v.credits)
-		h = statehash.FoldBool(h, v.tailSent)
+	for v := range ni.outCredits {
+		fl := ni.outFlags[v]
+		h = statehash.FoldBool(h, fl&soa.NIFree != 0)
+		h = statehash.FoldInt(h, int(ni.outCredits[v]))
+		h = statehash.FoldBool(h, fl&soa.NITailSent != 0)
 	}
 	h = statehash.FoldInt(h, len(ni.inbox))
 	for _, a := range ni.inbox {

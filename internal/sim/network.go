@@ -11,6 +11,7 @@ import (
 	"nocalert/internal/flit"
 	"nocalert/internal/rng"
 	"nocalert/internal/router"
+	"nocalert/internal/soa"
 	"nocalert/internal/topology"
 	"nocalert/internal/traffic"
 )
@@ -29,6 +30,13 @@ type Config struct {
 	ClassWeights []float64
 	// Seed seeds all per-node generators.
 	Seed uint64
+	// DisableSoA selects the reference sweep engine: routers sweep the
+	// full VC range every cycle and the network steps every router, with
+	// no activity-mask shortcuts. Storage is identical either way (the
+	// structure-of-arrays state), so both engines produce bit-identical
+	// simulations; the reference engine exists as the comparison baseline
+	// for the identity gates. Campaigns thread the -no-soa flag here.
+	DisableSoA bool
 }
 
 // Ejection is one flit delivered to a node's NI, the unit of the
@@ -45,8 +53,15 @@ type Network struct {
 	rcfg *router.Config
 	mesh topology.Mesh
 
+	// st owns every router's and NI's register file as flat contiguous
+	// arrays; routers and NIs hold per-node views into it. Forks bulk-
+	// copy it; the step loop's activity masks live in it.
+	st      *soa.State
 	routers []*router.Router
 	nis     []*NI
+	// soaOff mirrors Config.DisableSoA (copied on clone): when set, Step
+	// visits every router every cycle instead of skipping inert ones.
+	soaOff bool
 
 	monitors []Monitor
 	plane    *fault.Plane
@@ -64,6 +79,10 @@ type Network struct {
 
 	// scratch reused across cycles
 	ejectScratch []*flit.Flit
+	// steppedScratch holds the routers actually stepped this cycle; link
+	// traversal and monitor visits iterate it (a skipped router's signal
+	// record and credit staging are stale).
+	steppedScratch []*router.Router
 
 	// arena backs flit copies when this network is a CloneInto target;
 	// it is reset and refilled on every re-fork.
@@ -87,15 +106,18 @@ func New(cfg Config, plane *fault.Plane) (*Network, error) {
 	if cfg.Pattern == nil {
 		cfg.Pattern = traffic.Uniform{}
 	}
-	n := &Network{cfg: cfg, mesh: cfg.Router.Mesh, plane: plane, injecting: true, nextPkt: 1}
+	n := &Network{cfg: cfg, mesh: cfg.Router.Mesh, plane: plane, injecting: true, nextPkt: 1, soaOff: cfg.DisableSoA}
 	rcfg := cfg.Router
 	n.rcfg = &rcfg
 	nodes := n.mesh.Nodes()
+	n.st = soa.NewState(soa.Layout{R: nodes, P: router.P, V: rcfg.VCs})
 	n.routers = make([]*router.Router, nodes)
 	n.nis = make([]*NI, nodes)
 	for i := 0; i < nodes; i++ {
-		n.routers[i] = router.New(i, n.rcfg, plane)
-		n.nis[i] = newNI(i, n.rcfg, cfg.Seed)
+		n.routers[i] = router.NewInState(i, n.rcfg, plane, n.st.View(i))
+		n.routers[i].SetReferenceSweep(cfg.DisableSoA)
+		nic, nif := n.st.NIView(i)
+		n.nis[i] = newNI(i, n.rcfg, cfg.Seed, nic, nif)
 	}
 	n.pktProb = cfg.InjectionRate / n.meanPacketLen()
 	return n, nil
@@ -236,14 +258,37 @@ func (n *Network) Step() {
 		}
 	}
 
-	// Router pipelines.
-	for _, r := range n.routers {
-		r.BeginCycle(t)
-		r.Evaluate(t)
+	// Router pipelines. With the SoA engine and no live fault, routers
+	// whose activity masks, staging and ST latches are all clear are
+	// skipped outright: stepping one is a provable no-op (no state write,
+	// no signal, no arbiter pointer movement), and at drain/low load most
+	// of the mesh is in that state. A live fault window can conjure
+	// activity out of an idle router (a register upset needs BeginCycle
+	// to apply), so skipping is gated off while the plane is live.
+	stepped := n.steppedScratch[:0]
+	if !n.soaOff && !n.plane.LiveAt(t) {
+		for _, r := range n.routers {
+			if r.Inert() {
+				continue
+			}
+			r.BeginCycle(t)
+			r.Evaluate(t)
+			stepped = append(stepped, r)
+		}
+	} else {
+		for _, r := range n.routers {
+			r.BeginCycle(t)
+			r.Evaluate(t)
+		}
+		stepped = append(stepped, n.routers...)
 	}
+	n.steppedScratch = stepped
 
 	// Link traversal: distribute departures and credits for cycle t+1.
-	for id, r := range n.routers {
+	// Only stepped routers are visited — a skipped router's signal record
+	// and credit staging are leftovers from the last cycle it ran.
+	for _, r := range stepped {
+		id := r.ID()
 		for _, d := range r.Signals().Departures {
 			dir := topology.Direction(d.OutPort)
 			if dir == topology.Local {
@@ -268,9 +313,12 @@ func (n *Network) Step() {
 		}
 	}
 
-	// Monitors observe the completed cycle.
+	// Monitors observe the completed cycle. Skipped routers are not
+	// visited: every monitor is vacuous on an inert router's (empty)
+	// signal record, so the observation stream is identical to the
+	// reference engine's.
 	for _, m := range n.monitors {
-		for _, r := range n.routers {
+		for _, r := range stepped {
 			m.RouterCycle(r, r.Signals())
 		}
 	}
@@ -419,30 +467,51 @@ func (n *Network) FaultsInert() bool {
 	return n.planeInert
 }
 
+// newCloneShell builds an empty network whose routers and NIs are
+// clone targets bound to a fresh shared SoA state of this network's
+// geometry; Clone and CloneInto fill it in.
+func (n *Network) newCloneShell() *Network {
+	c := &Network{}
+	c.st = soa.NewState(soa.Layout{R: len(n.routers), P: router.P, V: n.rcfg.VCs})
+	c.routers = make([]*router.Router, len(n.routers))
+	c.nis = make([]*NI, len(n.nis))
+	for i := range c.routers {
+		c.routers[i] = router.NewCloneTarget(n.rcfg, c.st.View(i))
+		nic, nif := c.st.NIView(i)
+		c.nis[i] = niCloneTarget(nic, nif)
+	}
+	return c
+}
+
+// copyScalars copies the network-level scalar state from n into c.
+func (c *Network) copyScalars(n *Network, plane *fault.Plane) {
+	c.cfg = n.cfg
+	c.rcfg = n.rcfg
+	c.mesh = n.mesh
+	c.plane = plane
+	c.soaOff = n.soaOff
+	c.planeInert = false
+	c.planeQuiescent = false
+	c.cycle = n.cycle
+	c.nextPkt = n.nextPkt
+	c.injecting = n.injecting
+	c.pktProb = n.pktProb
+	c.flitsInjected = n.flitsInjected
+	c.flitsEjected = n.flitsEjected
+	c.pktsOffered = n.pktsOffered
+}
+
 // Clone deep-copies the network for a forked continuation under the
 // given fault plane (nil for a fault-free fork). Attached monitors are
 // carried over only when they implement CloneableMonitor.
 func (n *Network) Clone(plane *fault.Plane) *Network {
-	c := &Network{
-		cfg:           n.cfg,
-		rcfg:          n.rcfg,
-		mesh:          n.mesh,
-		plane:         plane,
-		cycle:         n.cycle,
-		nextPkt:       n.nextPkt,
-		injecting:     n.injecting,
-		pktProb:       n.pktProb,
-		flitsInjected: n.flitsInjected,
-		flitsEjected:  n.flitsEjected,
-		pktsOffered:   n.pktsOffered,
-	}
-	c.routers = make([]*router.Router, len(n.routers))
+	c := n.newCloneShell()
+	c.copyScalars(n, plane)
 	for i, r := range n.routers {
-		c.routers[i] = r.Clone(plane)
+		r.CloneInto(c.routers[i], plane, nil)
 	}
-	c.nis = make([]*NI, len(n.nis))
 	for i, ni := range n.nis {
-		c.nis[i] = ni.clone()
+		ni.cloneInto(c.nis[i], nil)
 	}
 	c.ejections = append([]Ejection(nil), n.ejections...)
 	for _, m := range n.monitors {
@@ -470,24 +539,11 @@ func (n *Network) Clone(plane *fault.Plane) *Network {
 func (n *Network) CloneInto(dst *Network, plane *fault.Plane) *Network {
 	c := dst
 	if c == nil {
-		c = &Network{arena: &flit.Arena{}}
-		c.routers = make([]*router.Router, len(n.routers))
-		c.nis = make([]*NI, len(n.nis))
+		c = n.newCloneShell()
+		c.arena = &flit.Arena{}
 	}
 	c.arena.Reset()
-	c.cfg = n.cfg
-	c.rcfg = n.rcfg
-	c.mesh = n.mesh
-	c.plane = plane
-	c.planeInert = false
-	c.planeQuiescent = false
-	c.cycle = n.cycle
-	c.nextPkt = n.nextPkt
-	c.injecting = n.injecting
-	c.pktProb = n.pktProb
-	c.flitsInjected = n.flitsInjected
-	c.flitsEjected = n.flitsEjected
-	c.pktsOffered = n.pktsOffered
+	c.copyScalars(n, plane)
 	for i, r := range n.routers {
 		c.routers[i] = r.CloneInto(c.routers[i], plane, c.arena)
 	}

@@ -178,7 +178,10 @@ func (m *countingMonitor) EndCycle(int64)                              { m.cycle
 func (m *countingMonitor) RouterCycle(*router.Router, *router.Signals) { m.routerCycles++ }
 
 func TestMonitorCallbacks(t *testing.T) {
-	n := MustNew(cfg44(0.1, 1), nil)
+	// Reference engine: every router is visited every cycle.
+	rcfg := cfg44(0.1, 1)
+	rcfg.DisableSoA = true
+	n := MustNew(rcfg, nil)
 	m := &countingMonitor{}
 	n.AttachMonitor(m)
 	n.Run(500)
@@ -194,6 +197,24 @@ func TestMonitorCallbacks(t *testing.T) {
 	}
 	if int64(m.routerCycles) != n.Cycle()*int64(n.Mesh().Nodes()) {
 		t.Errorf("monitor saw %d router-cycles", m.routerCycles)
+	}
+
+	// SoA engine: inert routers are skipped, so the monitor sees fewer
+	// router visits but the same packet/flit/cycle stream.
+	n2 := MustNew(cfg44(0.1, 1), nil)
+	m2 := &countingMonitor{}
+	n2.AttachMonitor(m2)
+	n2.Run(500)
+	n2.Drain(5000)
+	if int64(m2.pkts) != n2.PacketsOffered() || int64(m2.flits) != n2.FlitsEjected() || int64(m2.cycles) != n2.Cycle() {
+		t.Errorf("SoA monitor stream mismatch: pkts %d/%d flits %d/%d cycles %d/%d",
+			m2.pkts, n2.PacketsOffered(), m2.flits, n2.FlitsEjected(), m2.cycles, n2.Cycle())
+	}
+	if int64(m2.routerCycles) > n2.Cycle()*int64(n2.Mesh().Nodes()) {
+		t.Errorf("SoA monitor saw %d router-cycles, more than %d routers could step", m2.routerCycles, n2.Cycle()*int64(n2.Mesh().Nodes()))
+	}
+	if m2.routerCycles >= m.routerCycles {
+		t.Errorf("SoA engine visited %d router-cycles, reference %d: inert skip had no effect", m2.routerCycles, m.routerCycles)
 	}
 }
 

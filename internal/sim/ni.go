@@ -4,17 +4,16 @@ import (
 	"nocalert/internal/flit"
 	"nocalert/internal/rng"
 	"nocalert/internal/router"
+	"nocalert/internal/soa"
 	"nocalert/internal/topology"
 )
 
-// niOutVC mirrors the credit bookkeeping an upstream router keeps for a
-// downstream input port: the NI is exactly such an upstream for its
-// router's local input port.
-type niOutVC struct {
-	free     bool
-	credits  int
-	tailSent bool
-}
+// The NI's per-VC credit bookkeeping — the mirror of what an upstream
+// router keeps for a downstream input port — lives in the network's
+// structure-of-arrays state: outCredits[v] is the credit counter and
+// outFlags[v] carries the soa.NIFree/soa.NITailSent bits. The NI holds
+// its node's windows so network forks clone this state with the same
+// bulk copies that clone the routers'.
 
 // niArrival is a flit in flight on the router→NI ejection link.
 type niArrival struct {
@@ -37,10 +36,12 @@ type NI struct {
 	gen  *rng.PCG
 
 	// Injection side.
-	queue  []*flit.Packet // packets waiting for a VC
-	cur    []*flit.Flit   // flits of the packet currently streaming
-	curVC  int
-	outVCs []niOutVC
+	queue []*flit.Packet // packets waiting for a VC
+	cur   []*flit.Flit   // flits of the packet currently streaming
+	curVC int
+	// outCredits/outFlags are this node's SoA windows (see above).
+	outCredits []int32
+	outFlags   []uint8
 	// pktSlab backs queue entries in CloneInto targets so re-forks reuse
 	// packet storage instead of allocating per queued packet.
 	pktSlab []flit.Packet
@@ -49,13 +50,28 @@ type NI struct {
 	credits []niCredit
 }
 
-func newNI(node int, cfg *router.Config, seed uint64) *NI {
+// newNI builds the NI for node, bound to the given SoA windows; nil
+// windows allocate private storage (standalone/test use).
+func newNI(node int, cfg *router.Config, seed uint64, outCredits []int32, outFlags []uint8) *NI {
 	ni := &NI{node: node, cfg: cfg, gen: rng.New(seed, uint64(node)*2+1), curVC: -1}
-	ni.outVCs = make([]niOutVC, cfg.VCs)
-	for v := range ni.outVCs {
-		ni.outVCs[v] = niOutVC{free: true, credits: cfg.BufDepth}
+	if outCredits == nil {
+		outCredits = make([]int32, cfg.VCs)
+	}
+	if outFlags == nil {
+		outFlags = make([]uint8, cfg.VCs)
+	}
+	ni.outCredits, ni.outFlags = outCredits, outFlags
+	for v := 0; v < cfg.VCs; v++ {
+		ni.outCredits[v] = int32(cfg.BufDepth)
+		ni.outFlags[v] = soa.NIFree
 	}
 	return ni
+}
+
+// niCloneTarget returns an empty NI shell bound to the given SoA
+// windows, suitable only as a cloneInto destination.
+func niCloneTarget(outCredits []int32, outFlags []uint8) *NI {
+	return &NI{gen: new(rng.PCG), outCredits: outCredits, outFlags: outFlags}
 }
 
 // QueueLen returns the number of packets waiting at the source NI.
@@ -92,16 +108,15 @@ func (ni *NI) tickInject(cycle int64, r *router.Router, ejected *[]*flit.Flit) b
 			kept = append(kept, c)
 			continue
 		}
-		if c.vc < 0 || c.vc >= len(ni.outVCs) {
+		if c.vc < 0 || c.vc >= len(ni.outCredits) {
 			continue
 		}
-		ovc := &ni.outVCs[c.vc]
-		if ovc.credits < ni.cfg.BufDepth {
-			ovc.credits++
+		if int(ni.outCredits[c.vc]) < ni.cfg.BufDepth {
+			ni.outCredits[c.vc]++
 		}
-		if ovc.tailSent && !ovc.free && ovc.credits >= ni.cfg.BufDepth {
-			ovc.free = true
-			ovc.tailSent = false
+		fl := ni.outFlags[c.vc]
+		if fl&soa.NITailSent != 0 && fl&soa.NIFree == 0 && int(ni.outCredits[c.vc]) >= ni.cfg.BufDepth {
+			ni.outFlags[c.vc] = (fl | soa.NIFree) &^ soa.NITailSent
 		}
 	}
 	ni.credits = kept
@@ -131,20 +146,17 @@ func (ni *NI) tickInject(cycle int64, r *router.Router, ejected *[]*flit.Flit) b
 			dx, dy := ni.cfg.Mesh.Coords(p.Dest)
 			ni.cur = p.Flits(dx, dy)
 			ni.curVC = vc
-			ovc := &ni.outVCs[vc]
-			ovc.free = false
-			ovc.tailSent = false
+			ni.outFlags[vc] &^= soa.NIFree | soa.NITailSent
 		}
 	}
 	if len(ni.cur) > 0 {
-		ovc := &ni.outVCs[ni.curVC]
-		if ovc.credits > 0 {
+		if ni.outCredits[ni.curVC] > 0 {
 			f := ni.cur[0]
 			ni.cur = ni.cur[1:]
 			f.VC = ni.curVC
-			ovc.credits--
+			ni.outCredits[ni.curVC]--
 			if f.Kind.IsTail() {
-				ovc.tailSent = true
+				ni.outFlags[ni.curVC] |= soa.NITailSent
 			}
 			r.StageArrival(topology.Local, f)
 			return true
@@ -157,14 +169,14 @@ func (ni *NI) tickInject(cycle int64, r *router.Router, ejected *[]*flit.Flit) b
 func (ni *NI) pickFreeVC(class int) int {
 	lo, hi := ni.cfg.VCRange(class)
 	for v := lo; v < hi; v++ {
-		if ni.outVCs[v].free {
+		if ni.outFlags[v]&soa.NIFree != 0 {
 			return v
 		}
 	}
 	return -1
 }
 
-// clone returns a deep copy of the NI.
+// clone returns a deep copy of the NI (with private credit windows).
 func (ni *NI) clone() *NI {
 	return ni.cloneInto(nil, nil)
 }
@@ -176,7 +188,8 @@ func (ni *NI) clone() *NI {
 func (ni *NI) cloneInto(dst *NI, ar *flit.Arena) *NI {
 	c := dst
 	if c == nil {
-		c = &NI{gen: ni.gen.Clone()}
+		c = niCloneTarget(make([]int32, len(ni.outCredits)), make([]uint8, len(ni.outFlags)))
+		c.gen = ni.gen.Clone()
 	} else {
 		*c.gen = *ni.gen
 	}
@@ -196,7 +209,8 @@ func (ni *NI) cloneInto(dst *NI, ar *flit.Arena) *NI {
 	for _, f := range ni.cur {
 		c.cur = append(c.cur, ar.CloneOf(f))
 	}
-	c.outVCs = append(c.outVCs[:0], ni.outVCs...)
+	copy(c.outCredits, ni.outCredits)
+	copy(c.outFlags, ni.outFlags)
 	c.inbox = c.inbox[:0]
 	for _, a := range ni.inbox {
 		c.inbox = append(c.inbox, niArrival{f: ar.CloneOf(a.f), cycle: a.cycle})

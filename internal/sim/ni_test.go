@@ -12,7 +12,7 @@ func niRig(t *testing.T) (*NI, *router.Router, *router.Config) {
 	t.Helper()
 	rc := router.Default(topology.NewMesh(3, 3))
 	r := router.New(4, &rc, nil)
-	ni := newNI(4, &rc, 99)
+	ni := newNI(4, &rc, 99, nil, nil)
 	return ni, r, &rc
 }
 
@@ -68,7 +68,7 @@ func TestNIPicksDistinctVCsPerClass(t *testing.T) {
 	rc.Classes = 2
 	rc.LenByClass = []int{1, 1}
 	r := router.New(4, &rc, nil)
-	ni := newNI(4, &rc, 1)
+	ni := newNI(4, &rc, 1, nil, nil)
 	ni.enqueue(&flit.Packet{ID: 1, Src: 4, Dest: 5, Class: 0, Length: 1})
 	ni.enqueue(&flit.Packet{ID: 2, Src: 4, Dest: 5, Class: 1, Length: 1})
 	var ejected []*flit.Flit

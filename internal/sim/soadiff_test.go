@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"nocalert/internal/fault"
+	"nocalert/internal/rng"
+	"nocalert/internal/router"
+	"nocalert/internal/topology"
+)
+
+// diffPair builds two networks of the same configuration and seed, one
+// per sweep engine, each attached to its own clone of the plane.
+func diffPair(t *testing.T, w, h int, rate float64, seed uint64, plane *fault.Plane) (ref, soa *Network) {
+	t.Helper()
+	cfg := Config{Router: router.Default(topology.NewMesh(w, h)), InjectionRate: rate, Seed: seed}
+	cfg.DisableSoA = true
+	ref, err := New(cfg, plane.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisableSoA = false
+	soa, err = New(cfg, plane.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref, soa
+}
+
+// stepLockstep steps both networks n cycles, comparing full state
+// fingerprints at every cycle boundary.
+func stepLockstep(t *testing.T, ref, soa *Network, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		ref.Step()
+		soa.Step()
+		if rf, sf := ref.Fingerprint(), soa.Fingerprint(); rf != sf {
+			t.Fatalf("cycle %d: engines diverged (reference %#x, SoA %#x)", ref.Cycle(), rf, sf)
+		}
+	}
+	if !ejectionsEqual(ref.Ejections(), soa.Ejections()) {
+		t.Fatal("engines produced different ejection logs")
+	}
+}
+
+// samplePlane draws k single-bit faults from the full site population
+// using the given generator stream.
+func samplePlane(p fault.Params, g *rng.PCG, k int, cycle int64) *fault.Plane {
+	sites := p.EnumerateSites()
+	faults := make([]fault.Fault, 0, k)
+	for i := 0; i < k; i++ {
+		s := sites[g.Intn(len(sites))]
+		ft := fault.Type(g.Intn(3))
+		f := fault.Fault{Site: s, Bit: g.Intn(s.Width), Cycle: cycle + int64(g.Intn(50)), Type: ft}
+		if ft == fault.Intermittent {
+			f.Period = int64(2 + g.Intn(30))
+			f.Duty = 1 + int64(g.Intn(int(f.Period)))
+		}
+		faults = append(faults, f)
+	}
+	return fault.NewPlane(faults...)
+}
+
+// TestEngineLockstepUnderFaults is the differential gate for the two
+// sweep engines: a reference-engine network and a SoA-engine network
+// with identical configuration, workload and fault plane must hold
+// identical state fingerprints at every single cycle boundary — through
+// warmup, live fault windows (where the SoA engine must disable its
+// shortcuts), the post-fault wake, and drain. Any sweep-order or
+// skip-condition bug that lets the engines read or write one register
+// differently surfaces as a first-divergence cycle here.
+func TestEngineLockstepUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lockstep differential test in -short mode")
+	}
+	for _, tc := range []struct {
+		w, h int
+		rate float64
+	}{
+		{4, 4, 0.12},
+		{8, 8, 0.05},
+	} {
+		t.Run(fmt.Sprintf("%dx%d", tc.w, tc.h), func(t *testing.T) {
+			p := fault.Params{Mesh: topology.NewMesh(tc.w, tc.h), VCs: 4, BufDepth: router.Default(topology.NewMesh(tc.w, tc.h)).BufDepth}
+			g := rng.New(7, 1)
+			plane := samplePlane(p, g, 8, 120)
+			ref, soa := diffPair(t, tc.w, tc.h, tc.rate, 3, plane)
+			stepLockstep(t, ref, soa, 400)
+			ref.StopInjection()
+			soa.StopInjection()
+			stepLockstep(t, ref, soa, 200)
+		})
+	}
+}
+
+// TestEngineLockstepRandomPlanes fuzzes the engine equivalence with
+// seeded random fault planes: each iteration draws a fresh plane
+// (random sites — arbiter request/grant vectors included — random bits,
+// random temporal types) and a fresh traffic seed, then requires
+// per-cycle fingerprint identity. The arbitration sweeps are the
+// riskiest surface (the SoA engine iterates masked candidate sets where
+// the reference engine scans the full VC range), so a healthy share of
+// the population lands on VA/SA request, grant and pointer state.
+func TestEngineLockstepRandomPlanes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz-style differential test in -short mode")
+	}
+	p := fault.Params{Mesh: topology.NewMesh(4, 4), VCs: 4, BufDepth: router.Default(topology.NewMesh(4, 4)).BufDepth}
+	iters := 12
+	for it := 0; it < iters; it++ {
+		it := it
+		t.Run(fmt.Sprintf("plane%02d", it), func(t *testing.T) {
+			g := rng.New(uint64(100+it), 9)
+			plane := samplePlane(p, g, 4+it%5, 40)
+			ref, soa := diffPair(t, 4, 4, 0.15, uint64(it)+11, plane)
+			stepLockstep(t, ref, soa, 250)
+		})
+	}
+}
