@@ -14,7 +14,7 @@ GOLDEN_FLAGS = -mesh 4x4 -vcs 4 -rate 0.12 -seed 3 -inject 300 -post 400 \
 # merge — add tests instead.
 COVER_FLOOR = 85.0
 
-.PHONY: all build fmt vet lint test race cover e2e bench benchcheck ci golden shardcheck soa-identity build386
+.PHONY: all build fmt vet lint test race cover e2e bench benchcheck benchdelta ci golden shardcheck soa-identity frontier-identity build386
 
 all: ci
 
@@ -92,11 +92,21 @@ e2e-dist:
 BENCH_FLAGS = -mesh 4x4 -rate 0.12 -inject 300 -post 400 \
 	-drain 5000 -epoch 400 -faults 160 -seed 3 -fig none -progress=false
 
-# The 8x8 throughput row (BENCH_8x8.json): the paper-scale mesh at its
+# The 8x8 throughput rows (BENCH_8x8.json): the paper-scale mesh at its
 # 0.05 injection rate, serial, so the trajectory tracks algorithmic
-# wins (forking, fast-forward, reconvergence) rather than core count.
+# wins (forking, fast-forward, reconvergence, frontier stepping) rather
+# than core count. Each row pins its sweep engine explicitly — rows are
+# only comparable within one engine (the "engine" field in the record).
 BENCH_8X8_FLAGS = -mesh 8x8 -rate 0.05 -inject 300 -post 500 \
 	-drain 10000 -epoch 1500 -faults 64 -seed 3 -fig none -progress=false
+
+# The gated 16x16 throughput row (BENCH_16x16.json): a small universe
+# on the 16×16 mesh, where the cone-of-influence win is largest. Run
+# via `make bench BENCH_16X16=1` (or the bench CI job, which sets it) —
+# the row is gated because the -no-frontier half takes a while on
+# laptops.
+BENCH_16X16_FLAGS = -mesh 16x16 -rate 0.02 -inject 300 -post 500 \
+	-drain 10000 -epoch 1500 -faults 32 -seed 3 -fig none -progress=false
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkCampaignRun -benchtime 3x .
@@ -108,25 +118,48 @@ bench:
 		-trace-spans .bench-spans.ndjson -flight-recorder .bench-flight.ndjson \
 		-benchname campaign-traced -benchjson BENCH_4x4.json
 	rm -f .bench-spans.ndjson .bench-flight.ndjson
-	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -workers 1 -no-soa \
+	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -workers 1 -no-soa -no-frontier \
 		-benchname campaign-8x8 -benchjson BENCH_8x8.json
-	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -workers 1 \
+	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -workers 1 -no-frontier \
 		-benchname campaign-8x8-soa -benchjson BENCH_8x8.json
+	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -workers 1 \
+		-benchname campaign-8x8-frontier -benchjson BENCH_8x8.json
+	@if [ -n "$(BENCH_16X16)" ]; then \
+		$(GO) run ./cmd/faultcampaign $(BENCH_16X16_FLAGS) -workers 1 -no-frontier \
+			-benchname campaign-16x16-soa -benchjson BENCH_16x16.json && \
+		$(GO) run ./cmd/faultcampaign $(BENCH_16X16_FLAGS) -workers 1 \
+			-benchname campaign-16x16-frontier -benchjson BENCH_16x16.json; \
+	else echo "16x16 rows skipped (set BENCH_16X16=1 to run)"; fi
 
 # benchcheck is the perf regression gate: re-run the serial benchmark
 # campaigns and fail if their faults/sec land >30% below the latest
-# committed "campaign" row in BENCH_4x4.json (resp. "campaign-8x8" /
-# "campaign-8x8-soa" in BENCH_8x8.json). The campaign-8x8 row keeps
-# measuring the reference engine for trajectory continuity; the
-# campaign-8x8-soa row gates the structure-of-arrays step loop itself.
-# Nothing is appended.
+# committed like-engined row in BENCH_4x4.json (resp. the "campaign-8x8*"
+# rows in BENCH_8x8.json). The campaign-8x8 row keeps measuring the
+# reference engine for trajectory continuity, campaign-8x8-soa gates the
+# structure-of-arrays step loop, and campaign-8x8-frontier gates the
+# divergence-frontier delta engine. Nothing is appended.
 benchcheck:
 	$(GO) run ./cmd/faultcampaign $(BENCH_FLAGS) -workers 1 \
 		-benchbaseline BENCH_4x4.json
-	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -workers 1 -no-soa \
+	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -workers 1 -no-soa -no-frontier \
 		-benchname campaign-8x8 -benchbaseline BENCH_8x8.json
-	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -workers 1 \
+	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -workers 1 -no-frontier \
 		-benchname campaign-8x8-soa -benchbaseline BENCH_8x8.json
+	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -workers 1 \
+		-benchname campaign-8x8-frontier -benchbaseline BENCH_8x8.json
+
+# benchdelta renders a per-(name, engine) throughput comparison between
+# the committed bench trajectories (HEAD) and the working copies —
+# typically right after `make bench`. Report-only; benchcheck is the
+# gate.
+benchdelta:
+	@mkdir -p .benchdelta
+	@for f in BENCH_4x4.json BENCH_8x8.json BENCH_16x16.json; do \
+		if git show HEAD:$$f > .benchdelta/$$f 2>/dev/null && [ -f $$f ]; then \
+			$(GO) run ./cmd/faultcampaign benchdelta -baseline .benchdelta/$$f -current $$f; \
+		fi; \
+	done
+	@rm -rf .benchdelta
 
 # golden regenerates the committed fixtures — the 4×4 and 8×8 record
 # fixtures and the full JSON report fixtures the soa-identity gate
@@ -158,6 +191,26 @@ soa-identity:
 	cmp .soaid/8x8-soa.json .soaid/8x8-ref.json
 	cmp .soaid/8x8-soa.json testdata/report_8x8_seed3.json
 	rm -rf .soaid
+
+# frontier-identity proves divergence-frontier delta stepping exact:
+# the golden 4×4 and paper-scale 8×8 campaigns run once with the
+# default frontier engine and once with -no-frontier (full-mesh
+# stepping, PR-5 fingerprint probe), and all four JSON reports must be
+# byte-identical to each other and to the committed fixtures. Any
+# missed join, replay-order or materialization bug fails the cmp.
+frontier-identity:
+	rm -rf .frontid && mkdir -p .frontid
+	$(GO) run ./cmd/faultcampaign $(GOLDEN_FLAGS) -fig none -progress=false \
+		-json .frontid/4x4-frontier.json
+	$(GO) run ./cmd/faultcampaign $(GOLDEN_FLAGS) -fig none -progress=false \
+		-no-frontier -json .frontid/4x4-full.json
+	cmp .frontid/4x4-frontier.json .frontid/4x4-full.json
+	cmp .frontid/4x4-frontier.json testdata/report_4x4_seed3.json
+	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -json .frontid/8x8-frontier.json
+	$(GO) run ./cmd/faultcampaign $(BENCH_8X8_FLAGS) -no-frontier -json .frontid/8x8-full.json
+	cmp .frontid/8x8-frontier.json .frontid/8x8-full.json
+	cmp .frontid/8x8-frontier.json testdata/report_8x8_seed3.json
+	rm -rf .frontid
 
 # build386 is a build-only cross-compile of the whole module for a
 # 32-bit target: the SoA state uses explicitly sized element types

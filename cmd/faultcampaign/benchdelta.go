@@ -1,0 +1,110 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+)
+
+// benchDeltaMain implements `faultcampaign benchdelta`: a per-(name,
+// engine) throughput comparison between two bench trajectory files —
+// typically the committed BENCH_*.json baseline and the rows a fresh
+// `make bench` just appended. The summary is what the CI bench job
+// uploads as its bench-delta artifact, so a perf regression (or win)
+// is readable from the job page without diffing JSON by hand.
+//
+// Usage:
+//
+//	faultcampaign benchdelta -baseline OLD.json -current NEW.json [-o OUT]
+//
+// Exit status is always zero: the regression *gate* is `-benchbaseline`
+// (make benchcheck); benchdelta only reports.
+func benchDeltaMain(args []string) {
+	fs := flag.NewFlagSet("benchdelta", flag.ExitOnError)
+	basePath := fs.String("baseline", "", "baseline trajectory file (e.g. the committed BENCH_8x8.json)")
+	curPath := fs.String("current", "", "current trajectory file (after a fresh make bench run)")
+	outPath := fs.String("o", "", "write the summary to this file instead of stdout")
+	fs.Parse(args)
+	if *basePath == "" || *curPath == "" {
+		log.Fatal("benchdelta: -baseline and -current are required")
+	}
+	summary, err := benchDelta(*basePath, *curPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *outPath == "" {
+		fmt.Print(summary)
+		return
+	}
+	if err := os.WriteFile(*outPath, []byte(summary), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// benchDelta renders the latest-row comparison between two trajectory
+// files, one line per (name, engine) pair present in either file.
+func benchDelta(basePath, curPath string) (string, error) {
+	base, err := latestByKey(basePath)
+	if err != nil {
+		return "", err
+	}
+	cur, err := latestByKey(curPath)
+	if err != nil {
+		return "", err
+	}
+	keys := make([]string, 0, len(base)+len(cur))
+	seen := map[string]bool{}
+	for k := range base {
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	for k := range cur {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := fmt.Sprintf("bench delta: %s -> %s\n", basePath, curPath)
+	for _, k := range keys {
+		b, haveBase := base[k]
+		c, haveCur := cur[k]
+		switch {
+		case !haveCur:
+			out += fmt.Sprintf("  %-40s baseline %8.1f f/s, no current row\n", k, b.FaultsPerSec)
+		case !haveBase:
+			out += fmt.Sprintf("  %-40s current %8.1f f/s, no baseline row\n", k, c.FaultsPerSec)
+		default:
+			delta := 0.0
+			if b.FaultsPerSec > 0 {
+				delta = (c.FaultsPerSec - b.FaultsPerSec) / b.FaultsPerSec * 100
+			}
+			out += fmt.Sprintf("  %-40s %8.1f -> %8.1f f/s  (%+.1f%%)\n", k, b.FaultsPerSec, c.FaultsPerSec, delta)
+		}
+	}
+	return out, nil
+}
+
+// latestByKey reads a trajectory file and keeps the last row per
+// (name, engine) key — the trajectory is append-only, so the last row
+// is the most recent measurement.
+func latestByKey(path string) (map[string]benchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchdelta: %v", err)
+	}
+	records, err := decodeBenchRecords(data, path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]benchRecord, len(records))
+	for _, r := range records {
+		eng := r.Engine
+		if eng == "" {
+			eng = "untagged"
+		}
+		out[r.Name+"/"+eng] = r
+	}
+	return out, nil
+}

@@ -56,39 +56,44 @@ func main() {
 		dispatchMain(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "benchdelta" {
+		benchDeltaMain(os.Args[2:])
+		return
+	}
 	var (
-		meshSpec  = flag.String("mesh", "8x8", "mesh dimensions WxH")
-		vcs       = flag.Int("vcs", 4, "virtual channels per port")
-		rate      = flag.Float64("rate", 0.05, "injection rate (flits/node/cycle)")
-		inject    = flag.String("inject", "0", "fault-injection cycle, or a comma list (e.g. 0,16000,32000) spread round-robin over the sample (paper: 0 and 32000)")
-		nFaults   = flag.Int("faults", 1000, "fault sample size (0 = all locations)")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		epoch     = flag.Int64("epoch", 1500, "ForEVeR epoch length in cycles")
-		post      = flag.Int64("post", 500, "cycles of continued injection after the fault")
-		drain     = flag.Int64("drain", 10000, "drain deadline in cycles")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		figs      = flag.String("fig", "all", "figures to print: comma list of 6,7,8,9,obs3,obs5 or 'all'")
-		jsonPath  = flag.String("json", "", "also export the aggregated results as JSON to this file")
-		benchOut  = flag.String("benchjson", "", "write a campaign throughput record (faults/sec) as JSON to this file")
-		benchName = flag.String("benchname", "campaign", "name for the -benchjson record (e.g. campaign-parallel)")
-		benchBase = flag.String("benchbaseline", "", "compare this run's faults/sec against the latest matching record in FILE; exit non-zero on a >30% regression")
-		noFast    = flag.Bool("nofastpath", false, "disable the early-exit fast path for non-firing faults")
-		noReconv  = flag.Bool("no-reconverge", false, "disable golden-state reconvergence detection (fired faults always simulate their full window)")
-		noFork    = flag.Bool("no-fork", false, "disable injection-point forking (every run simulates its full [0,injection) prefix)")
-		snapInt   = flag.Int64("snapshot-interval", 0, "golden snapshot spacing in cycles (0 = adaptive from the universe's injection-cycle histogram)")
-		noFF      = flag.Bool("no-fastforward", false, "disable frozen-state fast-forwarding of deadlocked drains and idle ForEVeR horizons")
-		noSoA     = flag.Bool("no-soa", false, "use the reference sweep engine (full-range VC sweeps, no inert-router skip); results are byte-identical to the default structure-of-arrays engine")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
-		progress  = flag.Bool("progress", true, "print campaign progress to stderr")
-		telAddr   = flag.String("telemetry", "", "serve live telemetry on this address (pprof at /debug/pprof/, expvar at /debug/vars, metrics at /metricsz, OpenMetrics at /metrics)")
-		traceOut  = flag.String("trace", "", "stream one NDJSON record per completed fault run to this file")
-		spanOut   = flag.String("trace-spans", "", "stream campaign/run/phase spans as NDJSON to this file")
-		otlpOut   = flag.String("spans-otlp", "", "write the completed spans as an OTLP/JSON dump to this file (implies span retention)")
-		spanN     = flag.Int("span-sample", 1, "record every Nth run's spans (campaign-level spans are always recorded)")
-		frOut     = flag.String("flight-recorder", "", "record recent campaign events in a bounded ring, dumped to this file on anomalies and at campaign end")
-		shardStr  = flag.String("shard", "", "run only shard i/N of the campaign (0-based, e.g. 0/4) against a resumable checkpoint; requires -checkpoint")
-		ckptPath  = flag.String("checkpoint", "", "shard checkpoint file (NDJSON); an existing one is resumed, a finished one is a no-op")
-		verifyN   = flag.Int("verify-resumed", 0, "recorded runs to re-execute and compare when resuming a checkpoint (0 = default sample, -1 = none)")
+		meshSpec   = flag.String("mesh", "8x8", "mesh dimensions WxH")
+		vcs        = flag.Int("vcs", 4, "virtual channels per port")
+		rate       = flag.Float64("rate", 0.05, "injection rate (flits/node/cycle)")
+		inject     = flag.String("inject", "0", "fault-injection cycle, or a comma list (e.g. 0,16000,32000) spread round-robin over the sample (paper: 0 and 32000)")
+		nFaults    = flag.Int("faults", 1000, "fault sample size (0 = all locations)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		epoch      = flag.Int64("epoch", 1500, "ForEVeR epoch length in cycles")
+		post       = flag.Int64("post", 500, "cycles of continued injection after the fault")
+		drain      = flag.Int64("drain", 10000, "drain deadline in cycles")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		figs       = flag.String("fig", "all", "figures to print: comma list of 6,7,8,9,obs3,obs5 or 'all'")
+		jsonPath   = flag.String("json", "", "also export the aggregated results as JSON to this file")
+		benchOut   = flag.String("benchjson", "", "write a campaign throughput record (faults/sec) as JSON to this file")
+		benchName  = flag.String("benchname", "campaign", "name for the -benchjson record (e.g. campaign-parallel)")
+		benchBase  = flag.String("benchbaseline", "", "compare this run's faults/sec against the latest matching record in FILE; exit non-zero on a >30% regression")
+		noFast     = flag.Bool("nofastpath", false, "disable the early-exit fast path for non-firing faults")
+		noReconv   = flag.Bool("no-reconverge", false, "disable golden-state reconvergence detection (fired faults always simulate their full window)")
+		noFork     = flag.Bool("no-fork", false, "disable injection-point forking (every run simulates its full [0,injection) prefix)")
+		snapInt    = flag.Int64("snapshot-interval", 0, "golden snapshot spacing in cycles (0 = adaptive from the universe's injection-cycle histogram)")
+		noFF       = flag.Bool("no-fastforward", false, "disable frozen-state fast-forwarding of deadlocked drains and idle ForEVeR horizons")
+		noSoA      = flag.Bool("no-soa", false, "use the reference sweep engine (full-range VC sweeps, no inert-router skip); results are byte-identical to the default structure-of-arrays engine")
+		noFrontier = flag.Bool("no-frontier", false, "disable divergence-frontier delta stepping (fired faults step the full mesh every window cycle); results are byte-identical to the default frontier engine")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		progress   = flag.Bool("progress", true, "print campaign progress to stderr")
+		telAddr    = flag.String("telemetry", "", "serve live telemetry on this address (pprof at /debug/pprof/, expvar at /debug/vars, metrics at /metricsz, OpenMetrics at /metrics)")
+		traceOut   = flag.String("trace", "", "stream one NDJSON record per completed fault run to this file")
+		spanOut    = flag.String("trace-spans", "", "stream campaign/run/phase spans as NDJSON to this file")
+		otlpOut    = flag.String("spans-otlp", "", "write the completed spans as an OTLP/JSON dump to this file (implies span retention)")
+		spanN      = flag.Int("span-sample", 1, "record every Nth run's spans (campaign-level spans are always recorded)")
+		frOut      = flag.String("flight-recorder", "", "record recent campaign events in a bounded ring, dumped to this file on anomalies and at campaign end")
+		shardStr   = flag.String("shard", "", "run only shard i/N of the campaign (0-based, e.g. 0/4) against a resumable checkpoint; requires -checkpoint")
+		ckptPath   = flag.String("checkpoint", "", "shard checkpoint file (NDJSON); an existing one is resumed, a finished one is a no-op")
+		verifyN    = flag.Int("verify-resumed", 0, "recorded runs to re-execute and compare when resuming a checkpoint (0 = default sample, -1 = none)")
 	)
 	flag.Parse()
 
@@ -253,6 +258,7 @@ func main() {
 			SnapshotInterval:     *snapInt,
 			DisableFastForward:   *noFF,
 			DisableSoA:           *noSoA,
+			DisableFrontier:      *noFrontier,
 			VerifyResumed:        *verifyN,
 			Tracer:               tracer,
 			FlightRecorder:       flightRec,
@@ -303,6 +309,7 @@ func main() {
 		DisableFork:          *noFork,
 		SnapshotInterval:     *snapInt,
 		DisableFastForward:   *noFF,
+		DisableFrontier:      *noFrontier,
 		Progress:             report,
 		Metrics:              reg,
 		OnResult:             onResult,
@@ -328,14 +335,15 @@ func main() {
 		len(rep.Results), wall.Round(time.Millisecond), rep.FiredCount(), rep.MaliciousCount(), rep.FastPathHits, rep.ReconvergedHits,
 		rep.ForkedRuns, rep.WarmstartCyclesSaved, rep.SynthesizedCycles)
 
+	engine := engineName(*noSoA, *noFrontier || *noFast || *noReconv)
 	if *benchOut != "" {
-		if err := writeBenchRecord(*benchOut, *benchName, *meshSpec, rep, *workers, wall); err != nil {
+		if err := writeBenchRecord(*benchOut, *benchName, engine, *meshSpec, rep, *workers, wall); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("throughput record appended to %s\n\n", *benchOut)
 	}
 	if *benchBase != "" {
-		if err := checkBenchBaseline(*benchBase, *benchName, len(rep.Results), wall); err != nil {
+		if err := checkBenchBaseline(*benchBase, *benchName, engine, len(rep.Results), wall); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -467,10 +475,29 @@ func serveTelemetry(addr string, reg *nocalert.MetricsRegistry) (string, error) 
 	return ln.Addr().String(), nil
 }
 
+// engineName names the sweep engine a run's flag combination resolves
+// to, for tagging -benchjson rows: the frontier rides on the fast path
+// and reconvergence machinery, so disabling either demotes the run to
+// the plain per-cycle engine (soa or reference per the -no-soa flag).
+func engineName(noSoA, frontierOff bool) string {
+	switch {
+	case frontierOff && noSoA:
+		return "reference"
+	case frontierOff:
+		return "soa"
+	default:
+		return "frontier"
+	}
+}
+
 // benchRecord is the throughput measurement -benchjson emits, so perf
-// runs can be tracked across revisions.
+// runs can be tracked across revisions. Engine names the sweep engine
+// that produced the row (reference/soa/frontier); rows are only
+// comparable within one engine, which is how checkBenchBaseline matches
+// them.
 type benchRecord struct {
 	Name         string  `json:"name"`
+	Engine       string  `json:"engine"`
 	Timestamp    string  `json:"timestamp"`
 	Mesh         string  `json:"mesh"`
 	Faults       int     `json:"faults"`
@@ -483,16 +510,42 @@ type benchRecord struct {
 	FaultsPerSec float64 `json:"faults_per_sec"`
 }
 
+// decodeBenchRecords parses a bench trajectory file: a JSON array of
+// records, or the legacy shape of one or more concatenated JSON
+// objects.
+func decodeBenchRecords(data []byte, path string) ([]benchRecord, error) {
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, nil
+	}
+	var records []benchRecord
+	if json.Unmarshal(data, &records) == nil {
+		return records, nil
+	}
+	records = records[:0]
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for {
+		var r benchRecord
+		if err := dec.Decode(&r); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("cannot parse %s: %v", path, err)
+		}
+		records = append(records, r)
+	}
+	return records, nil
+}
+
 // writeBenchRecord appends a timestamped throughput record to path, so
 // repeated runs accumulate a perf trajectory. Existing files are kept:
 // a JSON array is extended in place, and the legacy shape (one or more
 // concatenated JSON objects) is absorbed into the array form.
-func writeBenchRecord(path, name, mesh string, rep *nocalert.CampaignReport, workers int, wall time.Duration) error {
+func writeBenchRecord(path, name, engine, mesh string, rep *nocalert.CampaignReport, workers int, wall time.Duration) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	r := benchRecord{
 		Name:         name,
+		Engine:       engine,
 		Timestamp:    time.Now().UTC().Format(time.RFC3339),
 		Mesh:         mesh,
 		Faults:       len(rep.Results),
@@ -535,33 +588,36 @@ func writeBenchRecord(path, name, mesh string, rep *nocalert.CampaignReport, wor
 }
 
 // checkBenchBaseline compares this run's throughput against the latest
-// record named name in the baseline trajectory file and fails on a >30%
-// regression — the `make benchcheck` gate.
-func checkBenchBaseline(path, name string, faults int, wall time.Duration) error {
+// like-engined record named name in the baseline trajectory file and
+// fails on a >30% regression — the `make benchcheck` gate. Rows from a
+// different engine are never compared (a frontier run outpacing the soa
+// baseline says nothing about either); legacy rows without an engine
+// tag match any engine.
+func checkBenchBaseline(path, name, engine string, faults int, wall time.Duration) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("benchbaseline: %v", err)
 	}
-	var records []benchRecord
-	if err := json.Unmarshal(data, &records); err != nil {
-		return fmt.Errorf("benchbaseline: cannot parse %s: %v", path, err)
+	records, err := decodeBenchRecords(data, path)
+	if err != nil {
+		return fmt.Errorf("benchbaseline: %v", err)
 	}
 	var base *benchRecord
 	for i := range records {
-		if records[i].Name == name {
+		if records[i].Name == name && (records[i].Engine == "" || records[i].Engine == engine) {
 			base = &records[i]
 		}
 	}
 	if base == nil {
-		return fmt.Errorf("benchbaseline: %s has no record named %q", path, name)
+		return fmt.Errorf("benchbaseline: %s has no record named %q for engine %q", path, name, engine)
 	}
 	got := 0.0
 	if s := wall.Seconds(); s > 0 {
 		got = float64(faults) / s
 	}
 	floor := 0.7 * base.FaultsPerSec
-	fmt.Printf("benchcheck: %.1f faults/sec vs baseline %.1f (%s, %s); floor %.1f\n",
-		got, base.FaultsPerSec, base.Name, base.Timestamp, floor)
+	fmt.Printf("benchcheck: %.1f faults/sec vs baseline %.1f (%s/%s, %s); floor %.1f\n",
+		got, base.FaultsPerSec, base.Name, engine, base.Timestamp, floor)
 	if got < floor {
 		return fmt.Errorf("benchbaseline: throughput %.1f faults/sec is >30%% below the committed baseline %.1f (%s)",
 			got, base.FaultsPerSec, path)

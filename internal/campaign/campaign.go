@@ -170,6 +170,16 @@ type Options struct {
 	// way (test-enforced); the switch exists for verification and
 	// benchmarking.
 	DisableFastForward bool
+	// DisableFrontier turns off divergence-frontier delta stepping: the
+	// golden continuation records no per-link signal transcript and
+	// every fired fault steps its full mesh every cycle of the window
+	// (the PR-5 whole-state fingerprint probe still applies). Frontier
+	// reports are byte-identical to full-mesh reports (test-enforced);
+	// the switch exists for the A/B identity gate and for measuring the
+	// cone-of-influence win. Frontier stepping is implied off when the
+	// fast path or reconvergence is disabled (it shares their golden
+	// template soundness precondition).
+	DisableFrontier bool
 	// DisableForever runs the campaign without a ForEVeR monitor: the
 	// golden run and every faulty run skip the baseline entirely, and
 	// finishRun skips the post-drain horizon run-out that exists only to
@@ -334,6 +344,14 @@ type Report struct {
 	SimulatedCycles      int64
 	WarmstartCyclesSaved int64
 	SynthesizedCycles    int64
+	// FrontierRuns counts runs driven by the divergence-frontier delta
+	// engine; TimelineBytes is the estimated memory footprint of the
+	// golden-side per-window records: the signal transcripts and
+	// window-end states backing the frontier plus the fingerprint
+	// timelines backing reconvergence. Neither alters the serialized
+	// report.
+	FrontierRuns  int
+	TimelineBytes int64
 }
 
 // worker holds the per-worker reusable state: a CloneInto target
@@ -362,6 +380,15 @@ type groupCtx struct {
 
 	tmpl RunResult
 	rc   *reconvergence
+
+	// rec and wend drive divergence-frontier delta stepping: the golden
+	// continuation's per-link signal transcript over the post-injection
+	// window and its full state at the window-end boundary (for
+	// materializing the untouched region of a run that needs its drain
+	// simulated). Both nil when the frontier is disabled or the golden
+	// template is unsound; both are shared read-only across workers.
+	rec  *sim.Recording
+	wend *sim.Network
 }
 
 // Run executes the campaign.
@@ -425,6 +452,16 @@ func Run(opts Options) (*Report, error) {
 		}
 		gcOf[c] = gc
 	}
+	var timelineBytes int64
+	for _, gc := range gcOf {
+		timelineBytes += gc.rec.ApproxFootprintBytes()
+		if gc.wend != nil {
+			timelineBytes += gc.wend.ApproxFootprintBytes()
+		}
+		if gc.rc != nil {
+			timelineBytes += gc.rc.tl.ApproxFootprintBytes()
+		}
+	}
 	warm.SetAttr("injection_cycles", len(cycles))
 	warm.SetAttr("snapshots", len(ring.snaps))
 	warm.SetAttr("snapshot_bytes", ring.bytes)
@@ -439,25 +476,28 @@ func Run(opts Options) (*Report, error) {
 		Results:                    make([]RunResult, len(o.FaultGroups)),
 		SnapshotCount:              len(ring.snaps),
 		SnapshotBytes:              ring.bytes,
+		TimelineBytes:              timelineBytes,
 	}
 
 	var (
-		wg         sync.WaitGroup
-		progMu     sync.Mutex
-		done       int
-		fastHits   int
-		reconvHits int
-		forkedRuns int
-		simCycles  int64
-		warmSaved  int64
-		synthSaved int64
-		runErr     error
+		wg           sync.WaitGroup
+		progMu       sync.Mutex
+		done         int
+		fastHits     int
+		reconvHits   int
+		forkedRuns   int
+		frontierRuns int
+		simCycles    int64
+		warmSaved    int64
+		synthSaved   int64
+		runErr       error
 	)
 	total := len(o.FaultGroups)
 	var inst *instruments
 	if o.Metrics != nil {
 		inst = newInstruments(o.Metrics, o.Workers, total)
 		o.Metrics.Gauge(MetricSnapshotBytes).Set(float64(ring.bytes))
+		o.Metrics.Gauge(MetricTimelineBytes).Set(float64(timelineBytes))
 	}
 	// Per-run wall clocks are only read when someone is listening; the
 	// two time.Now calls are noise next to a run's milliseconds, but the
@@ -515,6 +555,9 @@ func Run(opts Options) (*Report, error) {
 				if st.forked {
 					forkedRuns++
 				}
+				if st.frontier {
+					frontierRuns++
+				}
 				simCycles += st.simulated
 				warmSaved += st.warmSaved
 				synthSaved += st.synthesized
@@ -570,6 +613,7 @@ feed:
 	report.FastPathHits = fastHits
 	report.ReconvergedHits = reconvHits
 	report.ForkedRuns = forkedRuns
+	report.FrontierRuns = frontierRuns
 	report.SimulatedCycles = simCycles
 	report.WarmstartCyclesSaved = warmSaved
 	report.SynthesizedCycles = synthSaved
@@ -577,6 +621,7 @@ feed:
 	camp.SetAttr("fastpath_hits", fastHits)
 	camp.SetAttr("reconverged_hits", reconvHits)
 	camp.SetAttr("forked_runs", forkedRuns)
+	camp.SetAttr("frontier_runs", frontierRuns)
 	camp.SetAttr("cycles_simulated", simCycles)
 	camp.SetAttr("cycles_synthesized", synthSaved)
 	camp.SetAttr("warmstart_cycles_saved", warmSaved)
@@ -611,9 +656,19 @@ func buildGroupCtx(mainline *sim.Network, ring *snapshotRing, tw *worker, o Opti
 		// disabled the plain Run loop below is untouched.
 		tl = golden.NewTimeline(int(o.PostInjectRun))
 		ejStart := len(cont.Ejections())
+		if !o.DisableFrontier {
+			// Record the per-link signal transcript alongside the
+			// fingerprint timeline: the divergence frontier replays
+			// clean routers from it instead of stepping them.
+			cont.StartRecording(int(o.PostInjectRun))
+		}
 		for t := int64(0); t < o.PostInjectRun; t++ {
 			cont.Step()
 			tl.Observe(cont, cont.Ejections()[ejStart:])
+		}
+		if !o.DisableFrontier {
+			gc.rec = cont.StopRecording()
+			gc.wend = cont.CloneInto(nil, nil)
 		}
 	} else {
 		cont.Run(o.PostInjectRun)
@@ -673,6 +728,12 @@ func buildGroupCtx(mainline *sim.Network, ring *snapshotRing, tw *worker, o Opti
 		if sound {
 			gc.rc = &reconvergence{tl: tl, gfv: gc.gfv, verdict: gc.tmpl.Verdict}
 		}
+	}
+	if gc.rc == nil {
+		// The frontier shares the reconvergence soundness precondition
+		// (an invariant-clean golden continuation); without it the
+		// transcript is dead weight.
+		gc.rec, gc.wend = nil, nil
 	}
 	return gc, nil
 }
@@ -762,6 +823,10 @@ func runOne(w *worker, gc *groupCtx, o Options, group []fault.Fault, ro *runObs)
 		fv.ClearDetections()
 	}
 	rc := gc.rc
+	if rc != nil && gc.rec != nil {
+		res, exit, convCycles, err = runFrontier(n, eng, fv, gc, o, group, plane, w, &st, ro)
+		return res, exit, convCycles, st, err
+	}
 	fa := ro.phase("fault-armed")
 	var nextTry int64 // earliest cycle for the next full fingerprint
 	gap := int64(1)
@@ -810,6 +875,70 @@ func runOne(w *worker, gc *groupCtx, o Options, group []fault.Fault, ro *runObs)
 	res = finishRun(n, eng, fv, plane, gc, o, group, w, &st, ro)
 	st.simulated = n.Cycle() - gc.snap.cycle
 	return res, ExitFull, 0, st, nil
+}
+
+// runFrontier drives one forked faulty run with the divergence-frontier
+// delta engine: only the fault's cone of influence is stepped, every
+// other node is replayed from the golden signal transcript (see
+// sim.Frontier). The exit paths mirror runOne's exactly — an inert
+// plane copies the fault-free template, and reconvergence synthesizes
+// the tail — except the reconvergence probe needs no fingerprint
+// hashing: a frontier that has shrunk to empty with a clean ejection
+// history IS the state identity the PR-5 probe hashes for, so the
+// per-cycle check is a few flag and counter compares. A run still
+// divergent at window end materializes its untouched region from the
+// golden window-end state and finishes (drain, horizon, verdict) as a
+// plain full simulation.
+func runFrontier(n *sim.Network, eng *core.Engine, fv *forever.Monitor, gc *groupCtx, o Options, group []fault.Fault, plane *fault.Plane, w *worker, st *runStats, ro *runObs) (res RunResult, exit ExitPath, convCycles int64, err error) {
+	seeds := make([]int, 0, len(group))
+	for _, ft := range group {
+		seeds = append(seeds, ft.Site.Router)
+	}
+	fr := sim.NewFrontier(n, gc.rec, seeds)
+	st.frontier = true
+	rc := gc.rc
+	fa := ro.phase("fault-armed")
+	for t := int64(0); t < o.PostInjectRun; t++ {
+		fr.Step()
+		if n.FaultsInert() {
+			res = gc.tmpl
+			res.Fault = group[0]
+			res.Group = group
+			st.simulated = n.Cycle() - gc.snap.cycle
+			st.horizon = n.Cycle()
+			st.frontierPeak = fr.Peak()
+			st.frontierJoins = fr.Joins()
+			fa.End()
+			return res, ExitFastPath, 0, nil
+		}
+		if !n.FaultsQuiescent() || !fr.Empty() || !fr.Clean() {
+			continue
+		}
+		pt, ok := rc.tl.At(n.Cycle())
+		if !ok || !countersMatch(n, &pt) {
+			continue
+		}
+		ro.event("frontier_empty", n.Cycle(), "reconverged", nil)
+		st.simulated = n.Cycle() - gc.snap.cycle
+		st.synthesized += gc.cycle + o.PostInjectRun - n.Cycle()
+		st.horizon = gc.cycle + o.PostInjectRun
+		st.frontierPeak = fr.Peak()
+		st.frontierJoins = fr.Joins()
+		fa.End()
+		rt := ro.phase("reconverged-tail")
+		rt.SetAttr("reconverged_cycle", n.Cycle())
+		rt.SetAttr("cycles_synthesized", gc.cycle+o.PostInjectRun-n.Cycle())
+		rt.End()
+		return synthesizeReconverged(n, eng, fv, rc, plane, gc.cycle, group),
+			ExitReconverged, n.Cycle() - gc.cycle, nil
+	}
+	fa.End()
+	st.frontierPeak = fr.Peak()
+	st.frontierJoins = fr.Joins()
+	fr.MaterializeAll(gc.wend)
+	res = finishRun(n, eng, fv, plane, gc, o, group, w, st, ro)
+	st.simulated = n.Cycle() - gc.snap.cycle
+	return res, ExitFull, 0, nil
 }
 
 // countersMatch is the cheap precheck run before paying for a full

@@ -26,6 +26,16 @@ type runStats struct {
 	horizon int64
 	// forked reports the run warm-started above cycle 0.
 	forked bool
+	// frontier reports the run was driven by the divergence-frontier
+	// delta engine; frontierPeak is the largest router count the
+	// frontier reached and frontierJoins how many lazy materializations
+	// it performed. simulated stays cycle-based regardless (a frontier
+	// cycle counts as one simulated cycle however few routers stepped),
+	// preserving the warmSaved + simulated + synthesized == horizon
+	// invariant.
+	frontier      bool
+	frontierPeak  int
+	frontierJoins int64
 }
 
 // ffBackoffCap bounds the exponential backoff between fixed-point probe

@@ -13,8 +13,9 @@ import (
 var updateGolden = flag.Bool("update-golden", false, "regenerate the testdata/golden_*.json fixtures")
 
 const (
-	goldenPath    = "../../testdata/golden_4x4_seed3.json"
-	goldenPath8x8 = "../../testdata/golden_8x8_seed3.json"
+	goldenPath      = "../../testdata/golden_4x4_seed3.json"
+	goldenPath8x8   = "../../testdata/golden_8x8_seed3.json"
+	goldenPath16x16 = "../../testdata/golden_16x16_seed3.json"
 )
 
 // GoldenSpec is the campaign the committed fixture pins: the standard
@@ -134,6 +135,63 @@ func TestGoldenFixture8x8(t *testing.T) {
 	}
 }
 
+// Golden16x16Spec is the scale-out pinned campaign: a 16×16 mesh at a
+// low injection rate, matching the Makefile's BENCH_16X16_FLAGS row.
+// Its fixture keeps the frontier engine honest on a mesh large enough
+// that most routers stay outside the fault's cone of influence.
+func Golden16x16Spec() Spec {
+	return Spec{
+		MeshW: 16, MeshH: 16, VCs: 4,
+		InjectionRate: 0.02,
+		Seed:          3,
+		InjectCycle:   300,
+		PostInjectRun: 500,
+		DrainDeadline: 10000,
+		Epoch:         1500,
+		HopLatency:    1,
+		NumFaults:     32,
+	}
+}
+
+// TestGoldenFixture16x16 is TestGoldenFixture4x4 at 16×16 scale.
+func TestGoldenFixture16x16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	spec := Golden16x16Spec()
+	got := NewFixture(spec, unshardedRecords(t, spec))
+
+	if *updateGolden {
+		f, err := os.Create(goldenPath16x16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d records)", goldenPath16x16, len(got.Records))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath16x16)
+	if err != nil {
+		t.Fatalf("no golden fixture (run `make golden` to create it): %v", err)
+	}
+	golden, err := ReadFixture(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := golden.Diff(got); len(diffs) != 0 {
+		for _, d := range diffs {
+			t.Error(d)
+		}
+		t.Fatalf("%d fault(s) drifted from the golden fixture; if intentional, run `make golden` and commit", len(diffs))
+	}
+}
+
 // TestGoldenEngineIdentity runs the golden 4×4 campaign once per sweep
 // engine and requires record-for-record identical results: verdicts,
 // outcomes, detection latencies and checker attributions must not move
@@ -164,5 +222,38 @@ func TestGoldenEngineIdentity(t *testing.T) {
 			t.Error(d)
 		}
 		t.Fatalf("%d fault(s) differ between the SoA and reference engines", len(diffs))
+	}
+}
+
+// TestFrontierEngineIdentity is TestGoldenEngineIdentity for the
+// divergence-frontier engine: the golden 4×4 campaign run with
+// frontier delta stepping (the default) must be record-for-record
+// identical to the same campaign with -no-frontier. This is the
+// in-tree half of the frontier-identity CI gate (the CI half compares
+// the CLI's whole JSON reports byte-for-byte on both mesh sizes).
+func TestFrontierEngineIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	spec := GoldenSpec()
+	frontier := NewFixture(spec, unshardedRecords(t, spec))
+
+	opts := spec.Options()
+	opts.DisableFrontier = true
+	opts.Faults = spec.Universe()
+	recs := make([]trace.RunRecord, len(opts.Faults))
+	opts.OnResult = func(i int, res *RunResult, wall time.Duration, exit ExitPath) {
+		recs[i] = RecordFor(i, res, wall, exit == ExitFastPath)
+	}
+	if _, err := Run(opts); err != nil {
+		t.Fatal(err)
+	}
+	full := NewFixture(spec, recs)
+
+	if diffs := frontier.Diff(full); len(diffs) != 0 {
+		for _, d := range diffs {
+			t.Error(d)
+		}
+		t.Fatalf("%d fault(s) differ between the frontier and full-mesh engines", len(diffs))
 	}
 }

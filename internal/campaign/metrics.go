@@ -73,6 +73,19 @@ const (
 	MetricVerdictOK        = "campaign_verdict_ok_total"
 	MetricVerdictMalicious = "campaign_verdict_malicious_total"
 	MetricVerdictUnbounded = "campaign_verdict_unbounded_total"
+	// MetricFrontierRuns counts runs driven by the divergence-frontier
+	// delta engine; MetricFrontierJoins counts lazy materializations
+	// (nodes joining a frontier) across all of them.
+	MetricFrontierRuns  = "campaign_frontier_runs_total"
+	MetricFrontierJoins = "campaign_frontier_joins_total"
+	// MetricFrontierRouters is the histogram of per-run peak frontier
+	// sizes (routers) — the measured cone of influence. Only
+	// frontier-driven runs feed it.
+	MetricFrontierRouters = "campaign_frontier_routers"
+	// MetricTimelineBytes is a gauge holding the estimated memory
+	// footprint of the golden signal transcripts (and window-end
+	// states) backing the frontier engine.
+	MetricTimelineBytes = "campaign_timeline_bytes"
 )
 
 // mechMetricNames and outcomeMetricNames spell the per-mechanism
@@ -97,6 +110,10 @@ var reconvCyclesBounds = metrics.ExponentialBounds(1, 2, 16)
 // detectLatencyBounds is the MetricDetectionLatency bucket layout.
 var detectLatencyBounds = metrics.ExponentialBounds(1, 2, 16)
 
+// frontierRoutersBounds is the MetricFrontierRouters bucket layout:
+// powers of two from a single router up to a 32×32 mesh.
+var frontierRoutersBounds = metrics.ExponentialBounds(1, 2, 11)
+
 // instruments holds the pre-resolved campaign instruments so the
 // per-run path does one pointer hop per update instead of a registry
 // lookup.
@@ -120,6 +137,9 @@ type instruments struct {
 	simCycles     *metrics.Counter
 	synthCycles   *metrics.Counter
 	simCyclesPS   *metrics.Gauge
+	frontierRuns  *metrics.Counter
+	frontierJoins *metrics.Counter
+	frontierSize  *metrics.Histogram
 }
 
 func newInstruments(reg *metrics.Registry, workers, totalRuns int) *instruments {
@@ -142,6 +162,9 @@ func newInstruments(reg *metrics.Registry, workers, totalRuns int) *instruments 
 		simCycles:     reg.Counter(MetricSimulatedCycles),
 		synthCycles:   reg.Counter(MetricSynthesizedCycles),
 		simCyclesPS:   reg.Gauge(MetricSimCyclesPerSec),
+		frontierRuns:  reg.Counter(MetricFrontierRuns),
+		frontierJoins: reg.Counter(MetricFrontierJoins),
+		frontierSize:  reg.Histogram(MetricFrontierRouters, frontierRoutersBounds),
 	}
 	for m := range in.outcomes {
 		for o := range in.outcomes[m] {
@@ -167,6 +190,11 @@ func (in *instruments) observe(res *RunResult, wall time.Duration, exit ExitPath
 	in.warmSaved.Add(st.warmSaved)
 	in.simCycles.Add(st.simulated)
 	in.synthCycles.Add(st.synthesized)
+	if st.frontier {
+		in.frontierRuns.Inc()
+		in.frontierJoins.Add(st.frontierJoins)
+		in.frontierSize.Observe(float64(st.frontierPeak))
+	}
 	switch exit {
 	case ExitFastPath:
 		in.fastHits.Inc()

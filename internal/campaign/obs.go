@@ -83,6 +83,10 @@ func (ro *runObs) finish(res *RunResult, exit ExitPath, convCycles int64, st *ru
 	s.SetAttr("cycles_simulated", st.simulated)
 	s.SetAttr("cycles_synthesized", st.synthesized)
 	s.SetAttr("horizon_cycle", st.horizon)
+	if st.frontier {
+		s.SetAttr("frontier_peak_routers", st.frontierPeak)
+		s.SetAttr("frontier_joins", st.frontierJoins)
+	}
 	s.SetAttr("exit", exit.String())
 	s.SetAttr("fired", res.Fired)
 	s.SetAttr("drained", res.Drained)

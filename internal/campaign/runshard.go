@@ -46,6 +46,10 @@ type ShardRunOptions struct {
 	// network (see sim.Config.DisableSoA). Result-invisible either way —
 	// the soa-identity CI gate holds this to byte-identical reports.
 	DisableSoA bool
+	// DisableFrontier turns off divergence-frontier delta stepping (see
+	// Options.DisableFrontier). Result-invisible either way — the
+	// frontier-identity CI gate holds this to byte-identical reports.
+	DisableFrontier bool
 	// Progress, when non-nil, is invoked after each newly executed run
 	// with the shard-level completion count (resumed runs included), the
 	// shard's total run count and a snapshot of the running stats (for
@@ -239,6 +243,7 @@ func RunShard(sh *Shard, cp *trace.Checkpoint, completed []trace.RunRecord, o Sh
 	opts.SnapshotInterval = o.SnapshotInterval
 	opts.DisableFastForward = o.DisableFastForward
 	opts.Sim.DisableSoA = o.DisableSoA
+	opts.DisableFrontier = o.DisableFrontier
 	opts.Metrics = o.Metrics
 	opts.Context = ctx
 	opts.Tracer = o.Tracer

@@ -66,6 +66,19 @@ func (t *Timeline) Observe(n *sim.Network, postFork []sim.Ejection) {
 	})
 }
 
+// ApproxFootprintBytes estimates the memory the timeline retains: the
+// point array at capacity plus the fixed header. Like the other
+// Approx* footprints it is a deliberate estimate (capacities, not a
+// heap walk) so campaign memory reporting stays O(1).
+func (t *Timeline) ApproxFootprintBytes() int64 {
+	if t == nil {
+		return 0
+	}
+	const pointBytes = 48 // 6 × 8-byte fields per TimelinePoint
+	const headerBytes = 48
+	return int64(cap(t.points))*pointBytes + headerBytes
+}
+
 // At returns the point recorded for the given cycle boundary.
 func (t *Timeline) At(cycle int64) (TimelinePoint, bool) {
 	if t == nil {

@@ -87,6 +87,10 @@ type Network struct {
 	// arena backs flit copies when this network is a CloneInto target;
 	// it is reset and refilled on every re-fork.
 	arena *flit.Arena
+	// rec, when non-nil, receives the golden signal transcript of every
+	// Step (see record.go). Attached to the golden continuation only;
+	// never copied by Clone/CloneInto.
+	rec *Recording
 	// planeInert caches Plane.Inert once it turns true (the property is
 	// monotone), so the per-cycle fast-path check is a bool load.
 	planeInert bool
@@ -252,6 +256,9 @@ func (n *Network) Step() {
 			n.nextPkt++
 			n.pktsOffered++
 			ni.enqueue(p)
+			if n.rec != nil {
+				n.rec.recordGen(id, p)
+			}
 			for _, m := range n.monitors {
 				m.PacketInjected(t, id, p)
 			}
@@ -297,6 +304,9 @@ func (n *Network) Step() {
 			}
 			if nb, ok := n.mesh.Neighbor(id, dir); ok {
 				n.routers[nb].StageArrival(dir.Opposite(), d.Flit)
+				if n.rec != nil {
+					n.rec.recordLink(id, nb, int(dir.Opposite()), d.Flit)
+				}
 			}
 			// A departure through a port the mesh does not have (a
 			// fault-driven misroute at an edge router) falls off the
@@ -309,6 +319,9 @@ func (n *Network) Step() {
 			}
 			if nb, ok := n.mesh.Neighbor(id, c.Port); ok {
 				n.routers[nb].StageCredit(c.Port.Opposite(), c.VC)
+				if n.rec != nil {
+					n.rec.recordCredit(id, nb, int(c.Port.Opposite()), c.VC)
+				}
 			}
 		}
 	}
@@ -329,10 +342,16 @@ func (n *Network) Step() {
 		sent := ni.tickInject(t, n.routers[id], &n.ejectScratch)
 		if sent {
 			n.flitsInjected++
+			if n.rec != nil {
+				n.rec.recordSend(id)
+			}
 		}
 		for _, f := range n.ejectScratch {
 			n.flitsEjected++
 			n.ejections = append(n.ejections, Ejection{Node: id, Cycle: t, Flit: f})
+			if n.rec != nil {
+				n.rec.recordEject(id, f)
+			}
 			for _, m := range n.monitors {
 				m.FlitEjected(t, id, f)
 			}
@@ -343,6 +362,9 @@ func (n *Network) Step() {
 		m.EndCycle(t)
 	}
 	n.cycle = t + 1
+	if n.rec != nil {
+		n.rec.closeCycle(n)
+	}
 }
 
 func (n *Network) pickClass(g *rng.PCG) int {
@@ -450,7 +472,12 @@ func (n *Network) ApproxFootprintBytes() int64 {
 	slots := int64(router.P) * int64(n.rcfg.VCs) * int64(n.rcfg.BufDepth)
 	perRouter := slots*flitBytes + routerFixed
 	perNI := int64(n.rcfg.VCs)*32 + niFixed
-	return nodes * (perRouter + perNI)
+	total := nodes * (perRouter + perNI)
+	// An attached golden signal transcript is part of this network's
+	// retained state; campaigns surface it through the same accounting
+	// the snapshot ring uses.
+	total += n.rec.ApproxFootprintBytes()
+	return total
 }
 
 // FaultsInert reports whether the attached fault plane can no longer

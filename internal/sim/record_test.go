@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+
+	"nocalert/internal/router"
+	"nocalert/internal/topology"
+)
+
+// TestRecordingFootprintPinned pins Recording.ApproxFootprintBytes to
+// its documented arithmetic: per-event constants times slice capacity
+// plus the prefix indices and fold table. The campaign's
+// campaign_timeline_bytes gauge and Report.TimelineBytes surface this
+// number, so a silent formula drift would misreport golden-side memory.
+func TestRecordingFootprintPinned(t *testing.T) {
+	var nilRec *Recording
+	if got := nilRec.ApproxFootprintBytes(); got != 0 {
+		t.Fatalf("nil Recording footprint = %d, want 0", got)
+	}
+
+	cfg := Config{Router: router.Default(topology.NewMesh(4, 4)), InjectionRate: 0.2, Seed: 11}
+	n := MustNew(cfg, nil)
+	for n.Cycle() < 60 {
+		n.Step()
+	}
+	n.StartRecording(40)
+	for i := 0; i < 40; i++ {
+		n.Step()
+	}
+	rc := n.StopRecording()
+
+	if rc.Cycles() != 40 {
+		t.Fatalf("recorded %d cycles, want 40", rc.Cycles())
+	}
+	if len(rc.gens) == 0 || len(rc.links) == 0 || len(rc.credits) == 0 {
+		t.Fatal("transcript recorded no traffic; raise the injection rate or window")
+	}
+
+	want := int64(cap(rc.gens))*32 +
+		int64(cap(rc.links))*112 +
+		int64(cap(rc.credits))*16 +
+		int64(cap(rc.sends))*4 +
+		int64(cap(rc.ejects))*104 +
+		int64(cap(rc.folds))*8 +
+		int64(cap(rc.genIdx)+cap(rc.linkIdx)+cap(rc.credIdx)+cap(rc.sendIdx)+cap(rc.ejectIdx))*4
+	if got := rc.ApproxFootprintBytes(); got != want {
+		t.Fatalf("Recording.ApproxFootprintBytes() = %d, want %d", got, want)
+	}
+}
+
+// TestNetworkFootprintIncludesRecording pins the Network-level
+// accounting: a network with an attached transcript must report its
+// bare footprint plus exactly the transcript's own footprint, and
+// detaching the transcript (StopRecording) must restore the bare
+// number. This is what makes snapshot-ring and timeline accounting
+// composable — the same Network method serves both.
+func TestNetworkFootprintIncludesRecording(t *testing.T) {
+	cfg := Config{Router: router.Default(topology.NewMesh(4, 4)), InjectionRate: 0.2, Seed: 7}
+	n := MustNew(cfg, nil)
+	bare := n.ApproxFootprintBytes()
+	if bare <= 0 {
+		t.Fatalf("bare footprint = %d, want > 0", bare)
+	}
+
+	n.StartRecording(20)
+	for i := 0; i < 20; i++ {
+		n.Step()
+	}
+	withRec := n.ApproxFootprintBytes()
+	rc := n.StopRecording()
+	if got, want := withRec, bare+rc.ApproxFootprintBytes(); got != want {
+		t.Fatalf("footprint with transcript = %d, want bare %d + transcript %d = %d",
+			got, bare, rc.ApproxFootprintBytes(), want)
+	}
+	if got := n.ApproxFootprintBytes(); got != bare {
+		t.Fatalf("footprint after StopRecording = %d, want bare %d", got, bare)
+	}
+}
